@@ -1,0 +1,161 @@
+// Command experiments regenerates the paper's evaluation: every panel of
+// Figures 5-10, the abstract GIT-vs-SPT comparison, and the design-choice
+// ablations. Results are printed as aligned text tables and optionally
+// written as CSV files.
+//
+// Examples:
+//
+//	experiments -fig 5                # Figure 5 with the paper's 10 fields
+//	experiments -fig all -fields 3    # everything, 3 fields per point
+//	experiments -fig 9 -quick         # reduced preset for a fast look
+//	experiments -fig all -out results # also write results/fig*.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+type figureFunc func(harness.Options) (*harness.Table, error)
+
+var figures = []struct {
+	name string
+	fn   figureFunc
+}{
+	{"5", harness.Fig5},
+	{"6", harness.Fig6},
+	{"7", harness.Fig7},
+	{"8", harness.Fig8},
+	{"9", harness.Fig9},
+	{"10", harness.Fig10},
+	{"ablation-truncation", harness.AblationTruncation},
+	{"ablation-tp", harness.AblationReinforceDelay},
+	{"ablation-ta", harness.AblationAggregationDelay},
+	{"ablation-rtscts", harness.AblationRTSCTS},
+	{"baselines", harness.Baselines},
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", `figure to regenerate: 5..10, "git-spt", an ablation name, or "all"`)
+		fields   = fs.Int("fields", 0, "random fields per data point (default: paper's 10, or 3 with -quick)")
+		duration = fs.Duration("duration", 0, "simulated seconds per run (default 160s, 60s with -quick)")
+		quick    = fs.Bool("quick", false, "reduced preset: 3 fields, 60 s, 3 densities")
+		outDir   = fs.String("out", "", "directory for CSV output (created if missing)")
+		plots    = fs.Bool("plot", false, "also draw each panel as an ASCII chart")
+		progress = fs.Bool("progress", false, "log each completed run to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := harness.DefaultOptions()
+	if *quick {
+		opts = harness.QuickOptions()
+	}
+	if *fields > 0 {
+		opts.Fields = *fields
+	}
+	if *duration > 0 {
+		opts.Duration = *duration
+	}
+	if *progress {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	var csvDir string
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		csvDir = *outDir
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, f := range figures {
+		if *fig != "all" && *fig != f.name {
+			continue
+		}
+		ran++
+		t0 := time.Now()
+		tbl, err := f.fn(opts)
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", f.name, err)
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+		if *plots {
+			if err := tbl.RenderCharts(out); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "(fig %s regenerated in %v)\n\n", f.name, time.Since(t0).Round(time.Second))
+		if csvDir != "" {
+			if err := writeCSV(csvDir, "fig"+f.name+".csv", tbl.CSV); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *fig == "all" || *fig == "git-spt" {
+		ran++
+		tbl, err := harness.GitSpt(opts)
+		if err != nil {
+			return fmt.Errorf("git-spt: %w", err)
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+	}
+
+	if *fig == "all" || *fig == "lifetime" {
+		ran++
+		tbl, err := harness.LifetimeStudy(opts)
+		if err != nil {
+			return fmt.Errorf("lifetime: %w", err)
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+	}
+
+	if ran == 0 {
+		names := make([]string, 0, len(figures)+1)
+		for _, f := range figures {
+			names = append(names, f.name)
+		}
+		names = append(names, "git-spt", "lifetime")
+		return fmt.Errorf("unknown figure %q (have: %s, all)", *fig, strings.Join(names, ", "))
+	}
+	fmt.Fprintf(out, "total: %d table(s) in %v\n", ran, time.Since(start).Round(time.Second))
+	return nil
+}
+
+func writeCSV(dir, name string, write func(io.Writer) error) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

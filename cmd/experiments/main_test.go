@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExperimentsSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "5", "-fields", "1", "-duration", "20s", "-quick"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig5", "greedy", "opportunistic", "delivery ratio", "total: 1 table"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestExperimentsGitSpt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "git-spt", "-fields", "2", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "git-spt") {
+		t.Fatalf("missing table:\n%s", buf.String())
+	}
+}
+
+func TestExperimentsCSVOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "res")
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "5", "-fields", "1", "-duration", "20s", "-quick", "-out", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 || !strings.HasPrefix(lines[0], "figure,scheme") {
+		t.Fatalf("csv malformed:\n%s", data)
+	}
+}
+
+func TestExperimentsPlotFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "5", "-fields", "1", "-duration", "20s", "-quick", "-plot"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|") {
+		t.Fatal("no chart drawn with -plot")
+	}
+}
+
+func TestExperimentsUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "99"}, &buf); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

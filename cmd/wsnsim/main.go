@@ -1,0 +1,212 @@
+// Command wsnsim runs one packet-level sensor-network simulation and prints
+// the paper's three metrics plus substrate diagnostics.
+//
+// Examples:
+//
+//	wsnsim -scheme greedy -nodes 350 -seed 3
+//	wsnsim -scheme opportunistic -nodes 150 -failures
+//	wsnsim -scheme greedy -sources 14 -agg linear -duration 120s
+//	wsnsim -scheme greedy -nodes 80 -trace reinforce,negreinforce
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/msg"
+	"repro/internal/plot"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("wsnsim", flag.ContinueOnError)
+	var (
+		scheme    = fs.String("scheme", "greedy", "aggregation scheme: greedy, opportunistic, greedy-eventcover, flooding, omniscient")
+		nodes     = fs.Int("nodes", 150, "number of sensor nodes (paper: 50..350)")
+		seed      = fs.Int64("seed", 1, "random seed (one seed = one generated field)")
+		sources   = fs.Int("sources", 5, "number of sources")
+		sinks     = fs.Int("sinks", 1, "number of sinks")
+		placement = fs.String("placement", "corner", "source placement: corner or random")
+		aggName   = fs.String("agg", "perfect", "aggregation function: perfect, linear, packing, timestamp, outline")
+		duration  = fs.Duration("duration", 160*time.Second, "simulated time")
+		failures  = fs.Bool("failures", false, "enable the paper's node-failure dynamics (20% off / 30 s)")
+		traceArg  = fs.String("trace", "", "comma-separated message kinds to trace (e.g. reinforce,inccost)")
+		verbose   = fs.Bool("v", false, "print per-kind message counts and MAC statistics")
+		fieldMap  = fs.Bool("map", false, "draw the field and the final aggregation tree as ASCII art")
+		rtscts    = fs.Bool("rtscts", false, "enable the 802.11 RTS/CTS handshake for unicast data")
+		battery   = fs.Float64("battery", 0, "per-node battery budget in joules (0 = unlimited); depleted nodes die permanently")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	var err error
+	cfg.Scheme, err = core.ParseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	cfg.Nodes = *nodes
+	cfg.Seed = *seed
+	cfg.Duration = *duration
+	cfg.Workload.Sources = *sources
+	cfg.Workload.Sinks = *sinks
+	switch *placement {
+	case "corner":
+		cfg.Workload.Placement = workload.PlaceCorner
+	case "random":
+		cfg.Workload.Placement = workload.PlaceRandom
+	default:
+		return fmt.Errorf("unknown placement %q", *placement)
+	}
+	cfg.Diffusion.Agg, err = agg.ByName(*aggName)
+	if err != nil {
+		return err
+	}
+	if *failures {
+		fc := failure.DefaultConfig()
+		cfg.Failures = &fc
+	}
+	if *rtscts {
+		cfg.MAC.UseRTSCTS = true
+		cfg.MAC.RTSThreshold = 64
+	}
+	cfg.BatteryJ = *battery
+
+	var rec *trace.Recorder
+	if *traceArg != "" {
+		kinds, err := parseKinds(*traceArg)
+		if err != nil {
+			return err
+		}
+		rec = trace.NewRecorder(1 << 16)
+		rec.SetFilter(trace.KindFilter(kinds...))
+		cfg.Tracer = rec
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	m := res.Metrics
+	fmt.Fprintf(out, "scheme                      %s\n", m.Scheme)
+	fmt.Fprintf(out, "nodes                       %d (density %.1f neighbors)\n", m.Nodes, m.Density)
+	fmt.Fprintf(out, "workload                    %d sources, %d sinks, %s placement, %s aggregation\n",
+		*sources, *sinks, *placement, *aggName)
+	fmt.Fprintf(out, "events generated            %d\n", m.GeneratedEvents)
+	fmt.Fprintf(out, "distinct events delivered   %d\n", m.DeliveredEvents)
+	fmt.Fprintf(out, "delivery ratio              %.3f\n", m.DeliveryRatio)
+	fmt.Fprintf(out, "average delay               %.3f s\n", m.AvgDelay)
+	fmt.Fprintf(out, "avg dissipated energy       %.6f J/node/event\n", m.AvgDissipatedEnergy)
+	fmt.Fprintf(out, "  communication component   %.6f J/node/event\n", m.AvgCommEnergy)
+	fmt.Fprintf(out, "  network totals            %.2f J total, %.2f J tx+rx\n", m.TotalEnergy, m.CommEnergy)
+	fmt.Fprintf(out, "  hottest node              %.4f J tx+rx (%.1fx the mean)\n",
+		m.Concentration.MaxNodeJ, m.Concentration.PeakToMean)
+	if *battery > 0 {
+		fmt.Fprintf(out, "battery deaths              %d (first at %v)\n",
+			res.Lifetime.Deaths, res.Lifetime.FirstDeath.Round(time.Millisecond))
+	}
+
+	if *verbose {
+		fmt.Fprintf(out, "\nprotocol sends by kind:\n")
+		for k := msg.KindInterest; k <= msg.KindNegReinforce; k++ {
+			if n := res.Sent[k]; n > 0 {
+				fmt.Fprintf(out, "  %-14s %d\n", k, n)
+			}
+		}
+		st := res.MAC
+		fmt.Fprintf(out, "\nMAC: %d frames (%d ACKs), %d delivered, %d collisions, %d retries, %d bytes on air\n",
+			st.DataTx, st.AckTx, st.Delivered, st.Collisions, st.Retries, st.BytesOnAir)
+		for reason, n := range st.Drops {
+			fmt.Fprintf(out, "  drops[%d] = %d\n", int(reason), n)
+		}
+	}
+
+	if *fieldMap {
+		if err := renderMap(out, cfg, res); err != nil {
+			return err
+		}
+	}
+
+	if rec != nil {
+		fmt.Fprintf(out, "\ntrace (%d events, newest %d retained):\n", rec.Total(), len(rec.Events()))
+		for _, e := range rec.Events() {
+			fmt.Fprintln(out, e)
+		}
+	}
+	return nil
+}
+
+// renderMap draws the field with the final aggregation tree(s).
+func renderMap(w io.Writer, cfg core.Config, res core.Output) error {
+	onTree := map[topology.NodeID]bool{}
+	links := 0
+	for _, tree := range res.Trees {
+		for _, l := range tree {
+			onTree[l[0]] = true
+			onTree[l[1]] = true
+			links++
+		}
+	}
+	roles := map[topology.NodeID]rune{}
+	for _, s := range res.Assignment.Sources {
+		roles[s] = 'o'
+	}
+	for _, s := range res.Assignment.Sinks {
+		roles[s] = 'S'
+	}
+	m := plot.FieldMap{
+		Title: fmt.Sprintf("\nfield map (%d nodes, %d tree links)", len(res.Positions), links),
+		MinX:  0, MinY: 0, MaxX: cfg.FieldSide, MaxY: cfg.FieldSide,
+		Legend: map[rune]string{
+			'S': "sink", 'o': "source", '*': "on-tree relay", '.': "idle node",
+		},
+	}
+	for id, p := range res.Positions {
+		nd := plot.FieldNode{X: p.X, Y: p.Y, Mark: '.'}
+		if onTree[topology.NodeID(id)] {
+			nd.Mark = '*'
+		}
+		if r, ok := roles[topology.NodeID(id)]; ok {
+			nd.Mark = r
+		}
+		m.Nodes = append(m.Nodes, nd)
+	}
+	return m.Render(w)
+}
+
+func parseKinds(arg string) ([]msg.Kind, error) {
+	var kinds []msg.Kind
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for k := msg.KindInterest; k <= msg.KindNegReinforce; k++ {
+			if k.String() == name {
+				kinds = append(kinds, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown message kind %q", name)
+		}
+	}
+	return kinds, nil
+}

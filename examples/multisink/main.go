@@ -1,0 +1,48 @@
+// Multisink: several users subscribe to the same sensing task from
+// different places (§5.4's sink-count experiment). With one corner sink the
+// greedy tree shares aggressively; as sinks scatter across the field the
+// per-sink trees stop overlapping and the two schemes converge — the
+// paper's Figure 8 in miniature.
+//
+//	go run ./examples/multisink
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("Impact of the number of sinks (350-node field, 5 corner sources)")
+	fmt.Println()
+	fmt.Printf("%5s %16s %16s %9s\n", "sinks", "greedy J/event", "opport. J/event", "savings")
+
+	for _, sinks := range []int{1, 3, 5} {
+		var comm [2]float64
+		var ratio [2]float64
+		for i, scheme := range []core.Scheme{core.SchemeGreedy, core.SchemeOpportunistic} {
+			cfg := core.DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.Nodes = 350
+			cfg.Seed = 11
+			cfg.Duration = 120 * time.Second
+			cfg.Workload.Sinks = sinks
+			out, err := core.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			comm[i] = out.Metrics.AvgCommEnergy
+			ratio[i] = out.Metrics.DeliveryRatio
+		}
+		fmt.Printf("%5d %16.6f %16.6f %8.0f%%   (delivery %.2f vs %.2f)\n",
+			sinks, comm[0], comm[1], 100*(1-comm[0]/comm[1]), ratio[0], ratio[1])
+	}
+
+	fmt.Println()
+	fmt.Println("Expect the savings to shrink as sinks scatter: scattered sinks give")
+	fmt.Println("the trees little chance to share paths, the same effect as random")
+	fmt.Println("source placement.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: run one simulated sensor field under both aggregation schemes
+// and compare the paper's three metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("Greedy vs. opportunistic aggregation on one 200m x 200m field")
+	fmt.Println("(150 nodes, 5 corner sources, 1 sink, perfect aggregation)")
+	fmt.Println()
+
+	for _, scheme := range []core.Scheme{core.SchemeGreedy, core.SchemeOpportunistic} {
+		cfg := core.DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Nodes = 150
+		cfg.Seed = 42
+		cfg.Duration = 120 * time.Second
+
+		out, err := core.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := out.Metrics
+		fmt.Printf("%-14s delivery %.3f   delay %.3fs   energy %.6f J/node/event (comm %.6f)\n",
+			m.Scheme+":", m.DeliveryRatio, m.AvgDelay, m.AvgDissipatedEnergy, m.AvgCommEnergy)
+	}
+
+	fmt.Println()
+	fmt.Println("The greedy scheme builds a shared aggregation tree (a greedy")
+	fmt.Println("incremental tree), so it transmits the same events with fewer")
+	fmt.Println("radio transmissions — compare the communication energy column.")
+}

@@ -1,0 +1,159 @@
+// Package agg defines aggregation functions: how many bytes an aggregate of
+// d data items occupies on the wire.
+//
+// The paper evaluates two (§5.1, §5.4) and discusses a third (§3):
+//
+//   - Perfect aggregation: an aggregate is the size of a single event
+//     (64 B) regardless of item count — the idealized upper bound on
+//     in-network reduction.
+//   - Linear aggregation: z(S) = d·|x| + h with 28-byte items and a 36-byte
+//     header — lossless packing whose only savings are per-transmission
+//     overheads.
+//   - Packing aggregation: the §3 lossless example, equivalent in wire size
+//     to linear aggregation but kept as a distinct named function so
+//     experiments can label it separately.
+package agg
+
+import "fmt"
+
+import "repro/internal/msg"
+
+// Func maps an item count to an aggregate's wire size in bytes.
+type Func interface {
+	// Size returns the wire size of an aggregate holding items data items.
+	// items must be >= 1.
+	Size(items int) int
+	// Name identifies the function in reports.
+	Name() string
+}
+
+// Perfect is the paper's perfect aggregation: any aggregate is one event's
+// size.
+type Perfect struct{}
+
+// Size implements Func.
+func (Perfect) Size(items int) int {
+	mustPositive(items)
+	return msg.EventBytes
+}
+
+// Name implements Func.
+func (Perfect) Name() string { return "perfect" }
+
+// Linear is the paper's linear aggregation z(S) = d·|x| + h.
+type Linear struct {
+	// ItemBytes is |x|; zero selects the paper's 28.
+	ItemBytes int
+	// HeaderBytes is h; zero selects the paper's 36.
+	HeaderBytes int
+}
+
+// Size implements Func.
+func (l Linear) Size(items int) int {
+	mustPositive(items)
+	item, header := l.ItemBytes, l.HeaderBytes
+	if item == 0 {
+		item = msg.LinearItemBytes
+	}
+	if header == 0 {
+		header = msg.LinearHeaderBytes
+	}
+	return items*item + header
+}
+
+// Name implements Func.
+func (Linear) Name() string { return "linear" }
+
+// Packing packs whole unaggregated events behind a single header: the §3
+// lossless "packing aggregation" whose only savings are the shared
+// per-transmission overhead.
+type Packing struct{}
+
+// Size implements Func.
+func (Packing) Size(items int) int {
+	mustPositive(items)
+	// Each packed event keeps its full payload minus the per-packet header
+	// it no longer needs; one shared header is added.
+	payload := msg.EventBytes - msg.LinearHeaderBytes
+	return items*payload + msg.LinearHeaderBytes
+}
+
+// Name implements Func.
+func (Packing) Name() string { return "packing" }
+
+// Timestamp models the §3 timestamp aggregation: temporally correlated
+// events share their coarse timestamp fields, so each item beyond the first
+// drops the redundant portion of its representation.
+type Timestamp struct {
+	// SharedBytes is the per-item redundancy eliminated when items are
+	// temporally correlated (e.g. hour+minute fields); zero selects 8.
+	SharedBytes int
+}
+
+// Size implements Func.
+func (a Timestamp) Size(items int) int {
+	mustPositive(items)
+	shared := a.SharedBytes
+	if shared == 0 {
+		shared = 8
+	}
+	if shared > msg.EventBytes-msg.LinearHeaderBytes {
+		shared = msg.EventBytes - msg.LinearHeaderBytes
+	}
+	payload := msg.EventBytes - msg.LinearHeaderBytes
+	// First item keeps the full representation; later correlated items
+	// drop the shared fields. One header for the aggregate.
+	return msg.LinearHeaderBytes + payload + (items-1)*(payload-shared)
+}
+
+// Name implements Func.
+func (Timestamp) Name() string { return "timestamp" }
+
+// Outline models the §3 escan-style lossy aggregation: topologically
+// adjacent readings collapse into a bounded summary (a polygon), so the
+// aggregate size saturates at a cap regardless of item count.
+type Outline struct {
+	// CapItems is the item count beyond which the summary stops growing;
+	// zero selects 4.
+	CapItems int
+}
+
+// Size implements Func.
+func (a Outline) Size(items int) int {
+	mustPositive(items)
+	cap := a.CapItems
+	if cap == 0 {
+		cap = 4
+	}
+	if items > cap {
+		items = cap
+	}
+	return items*msg.LinearItemBytes + msg.LinearHeaderBytes
+}
+
+// Name implements Func.
+func (Outline) Name() string { return "outline" }
+
+// ByName returns the aggregation function with the given name.
+func ByName(name string) (Func, error) {
+	switch name {
+	case "perfect":
+		return Perfect{}, nil
+	case "linear":
+		return Linear{}, nil
+	case "packing":
+		return Packing{}, nil
+	case "timestamp":
+		return Timestamp{}, nil
+	case "outline":
+		return Outline{}, nil
+	default:
+		return nil, fmt.Errorf("agg: unknown aggregation function %q", name)
+	}
+}
+
+func mustPositive(items int) {
+	if items < 1 {
+		panic(fmt.Sprintf("agg: aggregate of %d items", items))
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIdealizedBaselines(t *testing.T) {
+	results := map[Scheme]Output{}
+	for _, scheme := range []Scheme{SchemeFlooding, SchemeOmniscient, SchemeGreedy} {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Nodes = 120
+		cfg.Seed = 4
+		cfg.Duration = 40 * time.Second
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		results[scheme] = out
+		m := out.Metrics
+		t.Logf("%-12s ratio=%.3f delay=%.3f comm=%.6f dataSent=%d",
+			scheme, m.DeliveryRatio, m.AvgDelay, m.AvgCommEnergy, out.Sent[3])
+		if m.DeliveredEvents == 0 {
+			t.Fatalf("%v delivered nothing", scheme)
+		}
+	}
+	// The classical ordering (the Mobicom'00 calibration this paper's
+	// metrics come from): flooding burns by far the most communication
+	// energy, and diffusion *with aggregation* beats even omniscient
+	// multicast, because the multicast reference must carry every event
+	// separately while the aggregation tree carries one aggregate.
+	fl := results[SchemeFlooding].Metrics.AvgCommEnergy
+	om := results[SchemeOmniscient].Metrics.AvgCommEnergy
+	gr := results[SchemeGreedy].Metrics.AvgCommEnergy
+	if !(fl > om && fl > gr) {
+		t.Errorf("flooding must be the most expensive: flooding %.6g, greedy %.6g, omniscient %.6g", fl, gr, om)
+	}
+	if gr >= om {
+		t.Errorf("greedy aggregation (%.6g) should beat per-event omniscient multicast (%.6g)", gr, om)
+	}
+}

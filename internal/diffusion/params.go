@@ -1,0 +1,115 @@
+// Package diffusion implements the directed-diffusion substrate both
+// aggregation schemes run on: interest flooding and exploratory gradients,
+// exploratory events, data caches, reinforcement and negative reinforcement
+// plumbing, aggregation buffering, and local path repair.
+//
+// The two instantiations the paper compares differ only in a Strategy:
+// when and whom to reinforce, whether on-tree sources emit incremental cost
+// messages, and how path truncation picks victims. The opportunistic
+// baseline lives in package opportunistic; the paper's greedy aggregation
+// lives in package core.
+package diffusion
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/topology"
+)
+
+// Params holds the protocol timing and aggregation configuration. The zero
+// value is not valid; start from DefaultParams.
+type Params struct {
+	// InterestPeriod is how often each sink re-floods its interest
+	// (paper: 5 s).
+	InterestPeriod time.Duration
+	// ExploratoryGradientTimeout expires exploratory gradients; it must
+	// exceed InterestPeriod so the periodic floods keep them alive.
+	ExploratoryGradientTimeout time.Duration
+	// DataGradientTimeout expires data gradients; it must exceed
+	// ExploratoryPeriod so per-round re-reinforcement keeps live paths up.
+	DataGradientTimeout time.Duration
+	// ExploratoryPeriod is how often each source emits an exploratory event
+	// (paper: one per 50 s).
+	ExploratoryPeriod time.Duration
+	// DataPeriod is the interval between generated events (paper: 2/s).
+	DataPeriod time.Duration
+	// AggregationDelay is Ta, how long an aggregation point holds data
+	// before flushing (paper: 0.5 s).
+	AggregationDelay time.Duration
+	// NegReinforceWindow is Tn, the observation window for path truncation
+	// (paper: 2 s = 4·Ta).
+	NegReinforceWindow time.Duration
+	// ReinforceDelay is Tp, the sink's reinforcement timer in the greedy
+	// scheme (paper: 1 s). The opportunistic strategy ignores it.
+	ReinforceDelay time.Duration
+	// RepairTimeout is how long an on-tree node tolerates data silence
+	// before locally re-reinforcing an alternate upstream neighbor.
+	RepairTimeout time.Duration
+	// FloodJitterMax is the maximum random delay before rebroadcasting an
+	// interest or exploratory event, decorrelating flood storms.
+	FloodJitterMax time.Duration
+	// DataCacheTTL bounds how long item keys stay in the duplicate-
+	// suppression cache.
+	DataCacheTTL time.Duration
+	// Agg is the aggregation function sizing outgoing aggregates.
+	Agg agg.Func
+
+	// LinkCost, when non-nil, prices each link for the energy cost
+	// attribute E instead of the default one-per-hop: the paper notes that
+	// with fixed transmission power "we measure energy as equivalent to
+	// hops, but direct measures of variable energy could also be used" —
+	// this is that hook. Values below 1 are clamped to 1. The function
+	// must be deterministic.
+	LinkCost func(from, to topology.NodeID) int
+}
+
+// DefaultParams returns the paper's §5.1 methodology values (with the OCR
+// reconstruction documented in DESIGN.md).
+func DefaultParams() Params {
+	return Params{
+		InterestPeriod:             5 * time.Second,
+		ExploratoryGradientTimeout: 15 * time.Second,
+		DataGradientTimeout:        60 * time.Second,
+		ExploratoryPeriod:          50 * time.Second,
+		DataPeriod:                 500 * time.Millisecond,
+		AggregationDelay:           500 * time.Millisecond,
+		NegReinforceWindow:         2 * time.Second,
+		ReinforceDelay:             time.Second,
+		RepairTimeout:              2 * time.Second,
+		FloodJitterMax:             50 * time.Millisecond,
+		DataCacheTTL:               20 * time.Second,
+		Agg:                        agg.Perfect{},
+	}
+}
+
+// Validate reports the first problem with the parameters, if any.
+func (p Params) Validate() error {
+	switch {
+	case p.InterestPeriod <= 0 || p.ExploratoryPeriod <= 0 || p.DataPeriod <= 0:
+		return fmt.Errorf("diffusion: non-positive period in %+v", p)
+	case p.ExploratoryGradientTimeout <= p.InterestPeriod:
+		return fmt.Errorf("diffusion: exploratory gradient timeout %v must exceed interest period %v",
+			p.ExploratoryGradientTimeout, p.InterestPeriod)
+	case p.DataGradientTimeout <= p.ExploratoryPeriod:
+		return fmt.Errorf("diffusion: data gradient timeout %v must exceed exploratory period %v",
+			p.DataGradientTimeout, p.ExploratoryPeriod)
+	case p.AggregationDelay <= 0:
+		return fmt.Errorf("diffusion: non-positive aggregation delay %v", p.AggregationDelay)
+	case p.NegReinforceWindow < p.AggregationDelay:
+		return fmt.Errorf("diffusion: truncation window %v below aggregation delay %v",
+			p.NegReinforceWindow, p.AggregationDelay)
+	case p.ReinforceDelay < 0 || p.RepairTimeout <= 0:
+		return fmt.Errorf("diffusion: bad reinforce/repair timing in %+v", p)
+	case p.FloodJitterMax < 0:
+		return fmt.Errorf("diffusion: negative flood jitter %v", p.FloodJitterMax)
+	case p.DataCacheTTL <= p.NegReinforceWindow:
+		return fmt.Errorf("diffusion: data cache TTL %v must exceed truncation window %v",
+			p.DataCacheTTL, p.NegReinforceWindow)
+	case p.Agg == nil:
+		return fmt.Errorf("diffusion: nil aggregation function")
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,234 @@
+package diffusion
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Observer receives workload-level events for metric collection. Methods
+// are called synchronously from the simulation loop.
+type Observer interface {
+	// Generated reports a new distinct event produced at a source.
+	Generated(src topology.NodeID, item msg.Item)
+	// Delivered reports the first arrival of a distinct event at a sink.
+	Delivered(sink topology.NodeID, item msg.Item, delay time.Duration)
+}
+
+// Roles assigns sinks and sources. A node may not be both.
+type Roles struct {
+	Sinks   []topology.NodeID
+	Sources []topology.NodeID
+}
+
+// Validate reports the first problem with the role assignment, if any.
+func (r Roles) Validate(n int) error {
+	if len(r.Sinks) == 0 || len(r.Sources) == 0 {
+		return fmt.Errorf("diffusion: need at least one sink and one source")
+	}
+	seen := make(map[topology.NodeID]string)
+	for _, s := range r.Sinks {
+		if s < 0 || int(s) >= n {
+			return fmt.Errorf("diffusion: sink %d out of range", s)
+		}
+		if seen[s] != "" {
+			return fmt.Errorf("diffusion: node %d assigned twice", s)
+		}
+		seen[s] = "sink"
+	}
+	for _, s := range r.Sources {
+		if s < 0 || int(s) >= n {
+			return fmt.Errorf("diffusion: source %d out of range", s)
+		}
+		if seen[s] != "" {
+			return fmt.Errorf("diffusion: node %d is both %s and source", s, seen[s])
+		}
+		seen[s] = "source"
+	}
+	return nil
+}
+
+// Runtime wires a diffusion instantiation over every node of a field and
+// drives its periodic behavior on the simulation kernel.
+type Runtime struct {
+	kernel   *sim.Kernel
+	net      *mac.Network
+	field    *topology.Field
+	params   Params
+	strategy Strategy
+	roles    Roles
+	observer Observer
+	nodes    []*node
+	started  bool
+	sent     map[msg.Kind]int
+	tracer   Tracer
+}
+
+// Tracer receives structured protocol events; trace.Recorder implements it.
+type Tracer interface {
+	Record(e trace.Event)
+}
+
+// SetTracer installs an optional protocol tracer. Call before Start.
+func (rt *Runtime) SetTracer(t Tracer) { rt.tracer = t }
+
+// traceMsg records a send or receive if a tracer is installed.
+func (rt *Runtime) traceMsg(op trace.Op, node, peer topology.NodeID, m msg.Message) {
+	if rt.tracer == nil {
+		return
+	}
+	rt.tracer.Record(trace.Event{
+		At:    rt.kernel.Now(),
+		Op:    op,
+		Node:  node,
+		Peer:  peer,
+		Kind:  m.Kind,
+		Items: len(m.Items),
+		E:     m.E,
+		C:     m.C,
+		W:     m.W,
+	})
+}
+
+// Sent returns how many messages of each kind the protocol handed to the
+// MAC (one count per unicast copy or broadcast).
+func (rt *Runtime) Sent() map[msg.Kind]int {
+	out := make(map[msg.Kind]int, len(rt.sent))
+	for k, v := range rt.sent {
+		out[k] = v
+	}
+	return out
+}
+
+// New constructs the runtime. Call Start before running the kernel.
+func New(kernel *sim.Kernel, net *mac.Network, field *topology.Field, params Params,
+	strategy Strategy, roles Roles, observer Observer) (*Runtime, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if strategy == nil {
+		return nil, fmt.Errorf("diffusion: nil strategy")
+	}
+	if err := roles.Validate(field.Len()); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		kernel:   kernel,
+		net:      net,
+		field:    field,
+		params:   params,
+		strategy: strategy,
+		roles:    roles,
+		observer: observer,
+		nodes:    make([]*node, field.Len()),
+		sent:     make(map[msg.Kind]int),
+	}
+	for i := range rt.nodes {
+		rt.nodes[i] = newNode(rt, topology.NodeID(i))
+	}
+	for si, s := range roles.Sinks {
+		rt.nodes[s].sinkInterest = msg.InterestID(si)
+		rt.nodes[s].isSink = true
+	}
+	for _, s := range roles.Sources {
+		rt.nodes[s].isSource = true
+	}
+	for i := range rt.nodes {
+		id := topology.NodeID(i)
+		n := rt.nodes[i]
+		net.SetReceiver(id, n.receive)
+	}
+	return rt, nil
+}
+
+// Strategy returns the scheme in use.
+func (rt *Runtime) Strategy() Strategy { return rt.strategy }
+
+// Params returns the runtime's protocol parameters.
+func (rt *Runtime) Params() Params { return rt.params }
+
+// Node returns the protocol state handle for tests and inspection tools.
+func (rt *Runtime) Node(id topology.NodeID) *node { return rt.nodes[id] }
+
+// DataGradients returns node id's live downstream data-gradient neighbors
+// for an interest, in ascending order — the tree structure, for inspection.
+func (rt *Runtime) DataGradients(id topology.NodeID, iid msg.InterestID) []topology.NodeID {
+	n := rt.nodes[id]
+	st, ok := n.interests[iid]
+	if !ok {
+		return nil
+	}
+	return n.dataGradients(st)
+}
+
+// KnowsInterest reports whether node id has any state for the interest.
+func (rt *Runtime) KnowsInterest(id topology.NodeID, iid msg.InterestID) bool {
+	_, ok := rt.nodes[id].interests[iid]
+	return ok
+}
+
+// BestEntryCost returns the lowest exploratory energy cost E cached at node
+// id across the interest's current entries (excluding entries the node
+// itself originated), for inspection and tests.
+func (rt *Runtime) BestEntryCost(id topology.NodeID, iid msg.InterestID) (int, bool) {
+	st, ok := rt.nodes[id].interests[iid]
+	if !ok {
+		return 0, false
+	}
+	best, found := 0, false
+	for _, e := range st.entries {
+		if !e.HasE || e.Origin == id {
+			continue
+		}
+		if !found || e.BestE < best {
+			best, found = e.BestE, true
+		}
+	}
+	return best, found
+}
+
+// Start schedules the initial periodic activity: interest floods at sinks
+// and housekeeping at every node. Sources activate themselves when the
+// first interest reaches them.
+func (rt *Runtime) Start() {
+	if rt.started {
+		panic("diffusion: Start called twice")
+	}
+	rt.started = true
+	for _, s := range rt.roles.Sinks {
+		rt.nodes[s].startSink()
+	}
+	for _, n := range rt.nodes {
+		n.startHousekeeping()
+	}
+}
+
+// jitter returns a uniform delay in [0, max).
+func (rt *Runtime) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(rt.kernel.Rand().Int63n(int64(max)))
+}
+
+// newMsgID draws a fresh random message id.
+func (rt *Runtime) newMsgID() msg.MsgID {
+	return msg.MsgID(rt.kernel.Rand().Uint64())
+}
+
+// sortedNeighborIDs returns keys of a per-neighbor map in ascending order,
+// for deterministic iteration.
+func sortedNeighborIDs[V any](m map[topology.NodeID]V) []topology.NodeID {
+	ids := make([]topology.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,184 @@
+// Package failure injects the paper's node-failure dynamics (§5.3): for the
+// whole run, 20% of the nodes are off at any instant; a fresh uniform 20%
+// subset is drawn every 30 seconds with no settling time between waves.
+//
+// The schedule also owns per-node up-time accounting: a failed node
+// dissipates no idle energy while it is off.
+package failure
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config describes the failure process.
+type Config struct {
+	// Fraction of nodes down at any instant (paper: 0.20).
+	Fraction float64
+	// Wave is how long each failed subset stays down before the next is
+	// drawn (paper: 30 s).
+	Wave time.Duration
+	// Protect lists nodes never failed (typically sources and sinks, so
+	// the metric measures protocol robustness rather than workload death).
+	Protect []topology.NodeID
+}
+
+// DefaultConfig returns the paper's failure parameters.
+func DefaultConfig() Config {
+	return Config{Fraction: 0.20, Wave: 30 * time.Second}
+}
+
+// Validate reports the first problem with the configuration, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Fraction < 0 || c.Fraction >= 1:
+		return fmt.Errorf("failure: fraction %v outside [0,1)", c.Fraction)
+	case c.Wave <= 0:
+		return fmt.Errorf("failure: non-positive wave %v", c.Wave)
+	default:
+		return nil
+	}
+}
+
+// Schedule drives failure waves on a network and tracks per-node up-time.
+type Schedule struct {
+	kernel  *sim.Kernel
+	net     *mac.Network
+	nodes   int
+	cfg     Config
+	protect map[topology.NodeID]bool
+
+	upSince []time.Duration // valid while node is on
+	upTotal []time.Duration
+	down    []topology.NodeID // currently failed wave
+	killed  []topology.NodeID // permanently dead (battery depletion)
+	dead    map[topology.NodeID]bool
+	waves   int
+}
+
+// New creates a schedule over n nodes. Call Start to begin the waves; call
+// Finish when the run ends to close up-time accounting.
+func New(kernel *sim.Kernel, net *mac.Network, n int, cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{
+		kernel:  kernel,
+		net:     net,
+		nodes:   n,
+		cfg:     cfg,
+		protect: make(map[topology.NodeID]bool, len(cfg.Protect)),
+		dead:    make(map[topology.NodeID]bool),
+		upSince: make([]time.Duration, n),
+		upTotal: make([]time.Duration, n),
+	}
+	for _, id := range cfg.Protect {
+		s.protect[id] = true
+	}
+	for i := range s.upSince {
+		s.upSince[i] = kernel.Now()
+	}
+	return s, nil
+}
+
+// Start launches the first wave immediately and re-draws every Wave.
+func (s *Schedule) Start() {
+	if s.cfg.Fraction == 0 {
+		return
+	}
+	s.wave()
+}
+
+func (s *Schedule) wave() {
+	// Revive the previous wave.
+	for _, id := range s.down {
+		s.reviveNode(id)
+	}
+	s.down = s.down[:0]
+	s.waves++
+
+	// Draw a fresh uniform subset among unprotected, still-living nodes.
+	candidates := make([]topology.NodeID, 0, s.nodes)
+	for i := 0; i < s.nodes; i++ {
+		if !s.protect[topology.NodeID(i)] && !s.dead[topology.NodeID(i)] {
+			candidates = append(candidates, topology.NodeID(i))
+		}
+	}
+	k := int(s.cfg.Fraction * float64(s.nodes))
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	rng := s.kernel.Rand()
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+		s.failNode(candidates[i])
+		s.down = append(s.down, candidates[i])
+	}
+	s.kernel.Schedule(s.cfg.Wave, s.wave)
+}
+
+func (s *Schedule) failNode(id topology.NodeID) {
+	if !s.net.On(id) {
+		return
+	}
+	s.upTotal[id] += s.kernel.Now() - s.upSince[id]
+	s.net.SetOn(id, false)
+}
+
+func (s *Schedule) reviveNode(id topology.NodeID) {
+	if s.net.On(id) || s.dead[id] {
+		return
+	}
+	s.upSince[id] = s.kernel.Now()
+	s.net.SetOn(id, true)
+}
+
+// Kill permanently powers node id off with correct up-time accounting:
+// unlike wave failures, a killed node is never revived. Battery-depletion
+// experiments use this.
+func (s *Schedule) Kill(id topology.NodeID) {
+	if s.dead[id] {
+		return
+	}
+	s.failNode(id)
+	s.dead[id] = true
+	s.killed = append(s.killed, id)
+}
+
+// Killed returns the nodes permanently removed via Kill, in kill order.
+func (s *Schedule) Killed() []topology.NodeID {
+	return append([]topology.NodeID(nil), s.killed...)
+}
+
+// Waves returns how many failure waves have been drawn.
+func (s *Schedule) Waves() int { return s.waves }
+
+// Down returns a copy of the currently failed node set.
+func (s *Schedule) Down() []topology.NodeID {
+	return append([]topology.NodeID(nil), s.down...)
+}
+
+// Finish closes the accounting at the current instant and charges each
+// node's idle up-time to its energy meter. Call exactly once, after the
+// kernel run completes.
+func (s *Schedule) Finish() {
+	now := s.kernel.Now()
+	for i := 0; i < s.nodes; i++ {
+		id := topology.NodeID(i)
+		if s.net.On(id) {
+			s.upTotal[id] += now - s.upSince[id]
+			s.upSince[id] = now
+		}
+		s.net.Meter(id).AddUpTime(s.upTotal[id])
+		s.upTotal[id] = 0
+	}
+}
+
+// UpTime returns node id's accumulated powered-on time so far (not counting
+// an open interval if the node is currently on).
+func (s *Schedule) UpTime(id topology.NodeID) time.Duration { return s.upTotal[id] }

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/datacentric"
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// GitSptRow is one density point of the abstract tree comparison.
+type GitSptRow struct {
+	Nodes   int
+	Density stats.Sample
+	// Savings holds the GIT-over-SPT transmission savings per source
+	// model, as fractions.
+	EventRadius stats.Sample
+	Random      stats.Sample
+	Corner      stats.Sample
+}
+
+// GitSptTable is the abstract GIT vs. SPT comparison the paper cites in §1:
+// under the event-radius and random-sources models the savings stay modest,
+// under the paper's corner placement they are much larger.
+type GitSptTable struct {
+	Rows []GitSptRow
+	// SourcesPerInstance and EventRadiusMeters record the workload knobs.
+	Sources     int
+	EventRadius float64
+}
+
+// GitSpt regenerates the abstract comparison over o.Nodes, averaging
+// o.Fields random fields per density.
+func GitSpt(o Options) (*GitSptTable, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	const (
+		sources     = 5
+		eventRadius = 40.0
+	)
+	t := &GitSptTable{Sources: sources, EventRadius: eventRadius}
+	for _, nodes := range o.Nodes {
+		row := GitSptRow{Nodes: nodes}
+		for field := 0; field < o.Fields; field++ {
+			rng := rand.New(rand.NewSource(seedFor(o.BaseSeed, nodes, field)))
+			f, err := topology.Generate(topology.Config{
+				Area: geom.Square(0, 0, 200), Nodes: nodes, Range: 40,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			sinkPool := f.NodesIn(geom.Rect{
+				MinX: 200 - workload.DefaultSinkRegionSide,
+				MinY: 200 - workload.DefaultSinkRegionSide,
+				MaxX: 200, MaxY: 200,
+			})
+			if len(sinkPool) == 0 {
+				continue
+			}
+			sink := sinkPool[rng.Intn(len(sinkPool))]
+			row.Density = append(row.Density, f.MeanDegree())
+
+			if srcs := datacentric.EventRadiusSources(f, sink, eventRadius, rng); len(srcs) >= 2 {
+				if c, err := datacentric.Compare(f, sink, srcs); err == nil {
+					row.EventRadius = append(row.EventRadius, c.Savings())
+				}
+			}
+			if srcs, err := datacentric.RandomSources(f, sink, sources, rng); err == nil {
+				if c, err := datacentric.Compare(f, sink, srcs); err == nil {
+					row.Random = append(row.Random, c.Savings())
+				}
+			}
+			if srcs, err := datacentric.CornerSources(f, sink, sources,
+				workload.DefaultSourceRegionSide, rng); err == nil {
+				if c, err := datacentric.Compare(f, sink, srcs); err == nil {
+					row.Corner = append(row.Corner, c.Savings())
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Render writes the comparison as an aligned text table of percentage
+// savings.
+func (t *GitSptTable) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== git-spt: GIT transmission savings over SPT (percent, %d sources, event radius %.0f m) ==\n",
+		t.Sources, t.EventRadius)
+	header := fmt.Sprintf("%8s %9s %14s %14s %14s", "nodes", "density", "event-radius", "random", "corner")
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%8d %9.1f %13.1f%% %13.1f%% %13.1f%%\n",
+			r.Nodes, r.Density.Mean(),
+			100*r.EventRadius.Mean(), 100*r.Random.Mean(), 100*r.Corner.Mean())
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,185 @@
+// Package harness regenerates every figure of the paper's evaluation (§5)
+// as a table of per-scheme series, averaging each data point over several
+// random sensor fields exactly like the paper ("our results are averaged
+// over ten different generated fields").
+//
+// Each Figure 5-10 panel triple (average dissipated energy, average delay,
+// distinct-event delivery ratio) becomes one Table; the abstract GIT/SPT
+// comparison and the parameter ablations are additional tables.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Options controls how much work a figure regeneration does.
+type Options struct {
+	// Fields is the number of random fields averaged per data point
+	// (paper: 10).
+	Fields int
+	// Duration is the simulated time per run.
+	Duration time.Duration
+	// Nodes overrides the density sweep (paper: 50..350 step 50).
+	Nodes []int
+	// BaseSeed offsets all field seeds, for sensitivity checks.
+	BaseSeed int64
+	// Workers bounds the number of concurrent simulations (0 = NumCPU).
+	Workers int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+// DefaultOptions reproduces the paper's methodology (10 fields per point).
+func DefaultOptions() Options {
+	return Options{
+		Fields:   10,
+		Duration: 160 * time.Second,
+		Nodes:    []int{50, 100, 150, 200, 250, 300, 350},
+	}
+}
+
+// QuickOptions is a reduced-cost preset for tests and demos.
+func QuickOptions() Options {
+	return Options{
+		Fields:   3,
+		Duration: 60 * time.Second,
+		Nodes:    []int{50, 150, 250},
+	}
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.Fields < 1:
+		return fmt.Errorf("harness: need at least 1 field, got %d", o.Fields)
+	case o.Duration <= 0:
+		return fmt.Errorf("harness: non-positive duration %v", o.Duration)
+	case len(o.Nodes) == 0:
+		return fmt.Errorf("harness: empty density sweep")
+	case o.Workers < 0:
+		return fmt.Errorf("harness: negative worker count")
+	default:
+		return nil
+	}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Cell aggregates one (x, scheme) data point over the sampled fields.
+type Cell struct {
+	// X is the sweep coordinate (node count, sink count, or source count).
+	X int
+	// Density is the mean radio degree averaged over fields (the paper's
+	// x-axis for Figures 5-7).
+	Density stats.Sample
+	// Energy is the paper's average dissipated energy (J/node/event);
+	// CommEnergy is its tx+rx component (see DESIGN.md).
+	Energy     stats.Sample
+	CommEnergy stats.Sample
+	// Delay is seconds per received distinct event.
+	Delay stats.Sample
+	// Ratio is the distinct-event delivery ratio.
+	Ratio stats.Sample
+}
+
+// Table is one regenerated figure: a set of per-scheme series over a sweep.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	// Schemes lists series order; Cells[scheme][i] corresponds to Xs[i].
+	Schemes []string
+	Xs      []int
+	Cells   map[string][]Cell
+}
+
+// job describes one simulation run within a sweep.
+type job struct {
+	scheme core.Scheme
+	xIdx   int
+	field  int
+	cfg    core.Config
+}
+
+// sweep runs cfgFor over xs × schemes × fields with a worker pool and
+// aggregates the results.
+func sweep(o Options, id, title, xlabel string, schemes []core.Scheme, xs []int,
+	cfgFor func(scheme core.Scheme, x, field int) core.Config) (*Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{ID: id, Title: title, XLabel: xlabel, Xs: xs, Cells: map[string][]Cell{}}
+	for _, s := range schemes {
+		t.Schemes = append(t.Schemes, s.String())
+		cells := make([]Cell, len(xs))
+		for i, x := range xs {
+			cells[i].X = x
+		}
+		t.Cells[s.String()] = cells
+	}
+
+	var jobs []job
+	for _, s := range schemes {
+		for xi := range xs {
+			for f := 0; f < o.Fields; f++ {
+				jobs = append(jobs, job{scheme: s, xIdx: xi, field: f, cfg: cfgFor(s, xs[xi], f)})
+			}
+		}
+	}
+
+	type result struct {
+		job job
+		out core.Output
+		err error
+	}
+	results := make([]result, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.workers())
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := core.Run(jobs[i].cfg)
+			results[i] = result{job: jobs[i], out: out, err: err}
+			if o.Progress != nil && err == nil {
+				o.Progress(fmt.Sprintf("%s %s x=%d field=%d done",
+					id, jobs[i].scheme, jobs[i].cfg.Nodes, jobs[i].field))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("harness: %s %v x-index %d field %d: %w",
+				id, r.job.scheme, r.job.xIdx, r.job.field, r.err)
+		}
+		c := &t.Cells[r.job.scheme.String()][r.job.xIdx]
+		m := r.out.Metrics
+		c.Density = append(c.Density, r.out.Density)
+		c.Energy = append(c.Energy, m.AvgDissipatedEnergy)
+		c.CommEnergy = append(c.CommEnergy, m.AvgCommEnergy)
+		c.Delay = append(c.Delay, m.AvgDelay)
+		c.Ratio = append(c.Ratio, m.DeliveryRatio)
+	}
+	return t, nil
+}
+
+// seedFor spaces field seeds so different x values use different fields,
+// while the two schemes share the same field per (x, field) pair — the
+// paired design the paper's comparison needs.
+func seedFor(base int64, x, field int) int64 {
+	return base + int64(x)*1_000 + int64(field)
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// LifetimeRow is one density point of the lifetime study.
+type LifetimeRow struct {
+	Nodes int
+	// BatteryJ holds the per-field calibrated budgets (idle draw for the
+	// whole run plus the midpoint of the greedy probe's mean and peak
+	// communication energy).
+	BatteryJ stats.Sample
+	// FirstDeath (seconds; censored at the run duration when nobody dies)
+	// and Deaths per scheme.
+	GreedyFirstDeath stats.Sample
+	GreedyDeaths     stats.Sample
+	OppFirstDeath    stats.Sample
+	OppDeaths        stats.Sample
+}
+
+// LifetimeTable is the network-lifetime study: the paper's closing claim —
+// that the greedy path optimization "is essential for prolonging the
+// lifetime of the highly-dense sensor networks" — measured directly. Every
+// node gets the same battery (calibrated per field so that only
+// hard-working relays can deplete it within the run); the schemes then
+// compete on when their hottest nodes die and how many die.
+type LifetimeTable struct {
+	Rows     []LifetimeRow
+	Duration float64 // run length in seconds (the censoring point)
+}
+
+// LifetimeStudy runs the study over o.Nodes with o.Fields fields per point.
+func LifetimeStudy(o Options) (*LifetimeTable, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	t := &LifetimeTable{Duration: o.Duration.Seconds()}
+	for _, nodes := range o.Nodes {
+		row := LifetimeRow{Nodes: nodes}
+		for field := 0; field < o.Fields; field++ {
+			probeCfg := baseConfig(o, core.SchemeGreedy, nodes, field)
+			probe, err := core.Run(probeCfg)
+			if err != nil {
+				return nil, err
+			}
+			c := probe.Metrics.Concentration
+			battery := probeCfg.Energy.IdlePower*o.Duration.Seconds() + (c.MeanNodeJ+c.MaxNodeJ)/2
+			row.BatteryJ = append(row.BatteryJ, battery)
+
+			for _, scheme := range bothSchemes {
+				cfg := baseConfig(o, scheme, nodes, field)
+				cfg.BatteryJ = battery
+				out, err := core.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				first := out.Lifetime.FirstDeath.Seconds()
+				if out.Lifetime.Deaths == 0 {
+					first = t.Duration // censored: nobody died
+				}
+				if scheme == core.SchemeGreedy {
+					row.GreedyFirstDeath = append(row.GreedyFirstDeath, first)
+					row.GreedyDeaths = append(row.GreedyDeaths, float64(out.Lifetime.Deaths))
+				} else {
+					row.OppFirstDeath = append(row.OppFirstDeath, first)
+					row.OppDeaths = append(row.OppDeaths, float64(out.Lifetime.Deaths))
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Render writes the study as an aligned text table.
+func (t *LifetimeTable) Render(w io.Writer) error {
+	fmt.Fprintf(w, "== lifetime: time to first battery death and death counts (censored at %.0f s) ==\n", t.Duration)
+	header := fmt.Sprintf("%8s %12s %18s %18s %14s %14s",
+		"nodes", "battery J", "greedy 1st death", "opport. 1st death", "greedy deaths", "opport. deaths")
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%8d %12.2f %16.1fs %16.1fs %14.1f %14.1f\n",
+			r.Nodes, r.BatteryJ.Mean(),
+			r.GreedyFirstDeath.Mean(), r.OppFirstDeath.Mean(),
+			r.GreedyDeaths.Mean(), r.OppDeaths.Mean())
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,610 @@
+// Package mac simulates the wireless channel and a simplified 802.11-style
+// CSMA/CA MAC at 1.6 Mb/s, the slice of ns-2's model the paper's protocols
+// exercise.
+//
+// Model:
+//
+//   - Unit-disk propagation over a topology.Field; propagation delay is
+//     negligible at 200 m scales and is modeled as zero.
+//   - Carrier sense with DIFS + random slotted backoff; the contention
+//     window doubles per retry up to CWMax.
+//   - Half-duplex radios: a transmitting node cannot receive, and two
+//     frames overlapping at a receiver corrupt each other there (no capture
+//     effect). Senders cannot detect collisions.
+//   - Unicast frames are acknowledged after SIFS and retried up to
+//     RetryLimit times; broadcast frames are sent once, unacknowledged —
+//     exactly the asymmetry that makes reinforced (unicast) paths reliable
+//     and floods lossy, which both diffusion variants depend on.
+//   - Energy: the sender is charged transmit power for the frame airtime;
+//     every powered-on node in range is charged receive power for it
+//     (overhearing and collision victims included) — this is why density is
+//     expensive and why smaller aggregation trees save energy.
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Broadcast is the destination for broadcast frames.
+const Broadcast topology.NodeID = -1
+
+// Params holds MAC timing constants. Zero values select DefaultParams.
+type Params struct {
+	SlotTime   time.Duration // backoff slot
+	DIFS       time.Duration // sense period before contending
+	SIFS       time.Duration // gap before an ACK
+	CWMin      int           // initial contention window, slots
+	CWMax      int           // maximum contention window, slots
+	RetryLimit int           // unicast retransmission attempts after the first
+	AckBytes   int           // ACK frame size
+	QueueLimit int           // per-node transmit queue capacity
+
+	// UseRTSCTS enables the 802.11 RTS/CTS exchange (with NAV-based
+	// virtual carrier sense) for unicast frames of at least RTSThreshold
+	// bytes. The default leaves it off, matching the basic-access mode.
+	UseRTSCTS    bool
+	RTSThreshold int // bytes; 0 applies RTS/CTS to every unicast frame
+	RTSBytes     int // RTS frame size; zero selects 20
+	CTSBytes     int // CTS frame size; zero selects 14
+}
+
+// DefaultParams returns 802.11-flavored constants scaled to the 1.6 Mb/s
+// radio of the paper.
+func DefaultParams() Params {
+	return Params{
+		SlotTime:   20 * time.Microsecond,
+		DIFS:       50 * time.Microsecond,
+		SIFS:       10 * time.Microsecond,
+		CWMin:      32,
+		CWMax:      1024,
+		RetryLimit: 3,
+		AckBytes:   14,
+		QueueLimit: 64,
+	}
+}
+
+// Validate reports the first problem with the parameters, if any.
+func (p Params) Validate() error {
+	switch {
+	case p.SlotTime <= 0 || p.DIFS <= 0 || p.SIFS <= 0:
+		return fmt.Errorf("mac: non-positive timing in %+v", p)
+	case p.RTSThreshold < 0 || p.RTSBytes < 0 || p.CTSBytes < 0:
+		return fmt.Errorf("mac: negative RTS/CTS parameter in %+v", p)
+	case p.CWMin < 1 || p.CWMax < p.CWMin:
+		return fmt.Errorf("mac: bad contention window [%d, %d]", p.CWMin, p.CWMax)
+	case p.RetryLimit < 0:
+		return fmt.Errorf("mac: negative retry limit %d", p.RetryLimit)
+	case p.AckBytes <= 0:
+		return fmt.Errorf("mac: non-positive ack size %d", p.AckBytes)
+	case p.QueueLimit < 1:
+		return fmt.Errorf("mac: queue limit %d < 1", p.QueueLimit)
+	default:
+		return nil
+	}
+}
+
+// Frame is a link-layer payload: an opaque application message plus its wire
+// size in bytes.
+type Frame struct {
+	Bytes   int
+	Payload any
+}
+
+// Receiver is the callback a node registers to receive delivered frames.
+// from identifies the link-layer neighbor (diffusion nodes distinguish
+// neighbors but need no global addresses; the simulator reuses NodeID as the
+// neighbor handle).
+type Receiver func(from topology.NodeID, f Frame)
+
+// DropReason classifies transmit failures reported to Stats.
+type DropReason int
+
+// Drop reasons.
+const (
+	// DropQueueFull counts frames rejected because the transmit queue was
+	// at capacity.
+	DropQueueFull DropReason = iota + 1
+	// DropRetryExceeded counts unicast frames abandoned after RetryLimit
+	// unacknowledged attempts.
+	DropRetryExceeded
+	// DropNodeOff counts frames submitted by or queued at a node that
+	// failed (was turned off).
+	DropNodeOff
+)
+
+// Stats aggregates link-layer counters across the run.
+type Stats struct {
+	DataTx      int // frames put on the air (excluding ACKs/RTS/CTS)
+	AckTx       int
+	RtsTx       int
+	CtsTx       int
+	Delivered   int // frame deliveries to a receiver callback (per receiver)
+	Collisions  int // frame receptions corrupted by overlap or half-duplex
+	Drops       map[DropReason]int
+	Retries     int
+	QueueMax    int // high-water mark across all nodes' queues
+	BytesOnAir  int64
+	AcksMissing int // unicast attempts that timed out waiting for an ACK
+}
+
+// Network simulates the shared medium for all nodes of a field.
+type Network struct {
+	kernel *sim.Kernel
+	field  *topology.Field
+	params Params
+	model  energy.Model
+	rng    *rand.Rand
+	energy []*energy.Meter
+	nodes  []*nodeState
+	stats  Stats
+}
+
+type nodeState struct {
+	id       topology.NodeID
+	on       bool
+	recv     Receiver
+	queue    []*outFrame
+	sending  bool // currently contending or transmitting
+	txActive bool // physically on the air right now
+	audible  []*transmission
+	cw       int
+	navUntil time.Duration // virtual carrier sense from overheard RTS/CTS
+}
+
+type outFrame struct {
+	to      topology.NodeID
+	frame   Frame
+	retries int
+}
+
+type txKind int
+
+const (
+	txData txKind = iota
+	txAck
+	txRTS
+	txCTS
+)
+
+type transmission struct {
+	from      topology.NodeID
+	to        topology.NodeID // Broadcast or unicast destination
+	frame     Frame
+	kind      txKind
+	nav       time.Duration // medium reservation advertised by RTS/CTS
+	corrupted map[topology.NodeID]bool
+}
+
+// New creates a network over field with all nodes on. Receivers start nil;
+// register them with SetReceiver before traffic flows.
+func New(kernel *sim.Kernel, field *topology.Field, model energy.Model, params Params) (*Network, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		kernel: kernel,
+		field:  field,
+		params: params,
+		model:  model,
+		rng:    kernel.Rand(),
+		energy: make([]*energy.Meter, field.Len()),
+		nodes:  make([]*nodeState, field.Len()),
+	}
+	n.stats.Drops = make(map[DropReason]int)
+	for i := range n.nodes {
+		n.energy[i] = energy.NewMeter(model)
+		n.nodes[i] = &nodeState{id: topology.NodeID(i), on: true, cw: params.CWMin}
+	}
+	return n, nil
+}
+
+// SetReceiver registers the delivery callback for node id.
+func (n *Network) SetReceiver(id topology.NodeID, r Receiver) { n.nodes[id].recv = r }
+
+// Meter returns node id's energy meter.
+func (n *Network) Meter(id topology.NodeID) *energy.Meter { return n.energy[id] }
+
+// Stats returns a snapshot of the link-layer counters.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.Drops = make(map[DropReason]int, len(n.stats.Drops))
+	for k, v := range n.stats.Drops {
+		s.Drops[k] = v
+	}
+	return s
+}
+
+// On reports whether node id is powered on.
+func (n *Network) On(id topology.NodeID) bool { return n.nodes[id].on }
+
+// SetOn powers node id on or off. Turning a node off drops its queue and any
+// frame it is mid-receiving; energy up-time accounting is the caller's
+// concern (see failure.Schedule).
+func (n *Network) SetOn(id topology.NodeID, on bool) {
+	ns := n.nodes[id]
+	if ns.on == on {
+		return
+	}
+	ns.on = on
+	if !on {
+		n.stats.Drops[DropNodeOff] += len(ns.queue)
+		ns.queue = nil
+		ns.sending = false
+		ns.txActive = false
+		ns.audible = nil
+		ns.cw = n.params.CWMin
+		ns.navUntil = 0
+	}
+}
+
+// Broadcast queues a broadcast frame at node from. It returns an error if
+// the payload is rejected at the door (off node, full queue); air-time
+// losses are reported only through Stats, as a real MAC would.
+func (n *Network) Broadcast(from topology.NodeID, f Frame) error {
+	return n.enqueue(from, Broadcast, f)
+}
+
+// Unicast queues a frame for a specific neighbor. Delivery is acknowledged
+// and retried; out-of-range destinations simply never ACK and the frame is
+// dropped after the retry limit, like a real radio.
+func (n *Network) Unicast(from, to topology.NodeID, f Frame) error {
+	if to == Broadcast || int(to) >= n.field.Len() || to < 0 {
+		return fmt.Errorf("mac: invalid unicast destination %d", to)
+	}
+	return n.enqueue(from, to, f)
+}
+
+func (n *Network) enqueue(from, to topology.NodeID, f Frame) error {
+	ns := n.nodes[from]
+	if !ns.on {
+		n.stats.Drops[DropNodeOff]++
+		return fmt.Errorf("mac: node %d is off", from)
+	}
+	if f.Bytes <= 0 {
+		return fmt.Errorf("mac: non-positive frame size %d", f.Bytes)
+	}
+	if len(ns.queue) >= n.params.QueueLimit {
+		n.stats.Drops[DropQueueFull]++
+		return fmt.Errorf("mac: node %d queue full", from)
+	}
+	ns.queue = append(ns.queue, &outFrame{to: to, frame: f})
+	if len(ns.queue) > n.stats.QueueMax {
+		n.stats.QueueMax = len(ns.queue)
+	}
+	if !ns.sending {
+		n.startContention(ns)
+	}
+	return nil
+}
+
+// busy reports whether the medium is sensed busy at node ns, physically or
+// through the NAV set by an overheard RTS/CTS.
+func (n *Network) busy(ns *nodeState) bool {
+	return ns.txActive || len(ns.audible) > 0 || n.kernel.Now() < ns.navUntil
+}
+
+// startContention begins the DIFS + backoff dance for the head-of-queue
+// frame. Contention is modeled as repeated short waits: sense after a DIFS
+// plus a random number of slots; if the medium is busy, wait a fresh backoff
+// and sense again. This approximates 802.11's freeze-and-resume counter
+// without per-slot events.
+func (n *Network) startContention(ns *nodeState) {
+	if len(ns.queue) == 0 || !ns.on {
+		ns.sending = false
+		return
+	}
+	ns.sending = true
+	slots := n.rng.Intn(ns.cw)
+	wait := n.params.DIFS + time.Duration(slots)*n.params.SlotTime
+	n.kernel.Schedule(wait, func() { n.senseAndSend(ns) })
+}
+
+func (n *Network) senseAndSend(ns *nodeState) {
+	if !ns.on || len(ns.queue) == 0 {
+		ns.sending = false
+		return
+	}
+	if n.busy(ns) {
+		// Medium busy: back off again with the same window.
+		slots := n.rng.Intn(ns.cw) + 1
+		n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, func() {
+			n.senseAndSend(ns)
+		})
+		return
+	}
+	of := ns.queue[0]
+	n.transmit(ns, of)
+}
+
+// transmit puts the head frame on the air, via the RTS/CTS handshake when
+// enabled for unicast frames at or above the threshold.
+func (n *Network) transmit(ns *nodeState, of *outFrame) {
+	if n.params.UseRTSCTS && of.to != Broadcast && of.frame.Bytes >= n.params.RTSThreshold {
+		n.sendRTS(ns, of)
+		return
+	}
+	n.transmitData(ns, of)
+}
+
+func (n *Network) transmitData(ns *nodeState, of *outFrame) {
+	tx := &transmission{
+		from:      ns.id,
+		to:        of.to,
+		frame:     of.frame,
+		corrupted: make(map[topology.NodeID]bool),
+	}
+	airtime := n.energy[ns.id].Transmit(of.frame.Bytes)
+	n.stats.DataTx++
+	n.stats.BytesOnAir += int64(of.frame.Bytes)
+	n.begin(ns, tx, airtime, func() { n.finishData(ns, of, tx) })
+}
+
+func (n *Network) rtsBytes() int {
+	if n.params.RTSBytes > 0 {
+		return n.params.RTSBytes
+	}
+	return 20
+}
+
+func (n *Network) ctsBytes() int {
+	if n.params.CTSBytes > 0 {
+		return n.params.CTSBytes
+	}
+	return 14
+}
+
+// exchangeNAV returns the medium reservation an RTS advertises: CTS + DATA
+// + ACK plus the three SIFS gaps.
+func (n *Network) exchangeNAV(dataBytes int) time.Duration {
+	return 3*n.params.SIFS +
+		n.model.Airtime(n.ctsBytes()) +
+		n.model.Airtime(dataBytes) +
+		n.model.Airtime(n.params.AckBytes)
+}
+
+// sendRTS starts the RTS/CTS handshake for the head frame.
+func (n *Network) sendRTS(ns *nodeState, of *outFrame) {
+	rts := &transmission{
+		from:      ns.id,
+		to:        of.to,
+		kind:      txRTS,
+		frame:     Frame{Bytes: n.rtsBytes()},
+		nav:       n.exchangeNAV(of.frame.Bytes),
+		corrupted: make(map[topology.NodeID]bool),
+	}
+	airtime := n.energy[ns.id].Transmit(rts.frame.Bytes)
+	n.stats.RtsTx++
+	n.stats.BytesOnAir += int64(rts.frame.Bytes)
+	n.begin(ns, rts, airtime, func() {
+		if !ns.on {
+			return
+		}
+		dest := n.nodes[of.to]
+		if dest.on && n.field.InRange(ns.id, of.to) && !rts.corrupted[of.to] {
+			n.kernel.Schedule(n.params.SIFS, func() { n.sendCTS(dest, ns, of) })
+			return
+		}
+		// No CTS will come: treat like a missing ACK (cheap collision).
+		timeout := n.params.SIFS + n.model.Airtime(n.ctsBytes()) + n.params.SlotTime
+		n.kernel.Schedule(timeout, func() { n.ackTimeout(ns, of) })
+	})
+}
+
+// sendCTS answers an RTS and, on success, releases the sender's data frame
+// after SIFS without further contention.
+func (n *Network) sendCTS(dest, src *nodeState, of *outFrame) {
+	if !dest.on {
+		n.ackTimeout(src, of)
+		return
+	}
+	cts := &transmission{
+		from:      dest.id,
+		to:        src.id,
+		kind:      txCTS,
+		frame:     Frame{Bytes: n.ctsBytes()},
+		nav:       2*n.params.SIFS + n.model.Airtime(of.frame.Bytes) + n.model.Airtime(n.params.AckBytes),
+		corrupted: make(map[topology.NodeID]bool),
+	}
+	airtime := n.energy[dest.id].Transmit(cts.frame.Bytes)
+	n.stats.CtsTx++
+	n.stats.BytesOnAir += int64(cts.frame.Bytes)
+	n.begin(dest, cts, airtime, func() {
+		if !src.on {
+			return
+		}
+		if dest.on && n.field.InRange(dest.id, src.id) && !cts.corrupted[src.id] {
+			n.kernel.Schedule(n.params.SIFS, func() {
+				if src.on && len(src.queue) > 0 && src.queue[0] == of {
+					n.transmitData(src, of)
+				}
+			})
+			return
+		}
+		timeout := n.params.SIFS + n.params.SlotTime
+		n.kernel.Schedule(timeout, func() { n.ackTimeout(src, of) })
+	})
+}
+
+// begin starts a transmission: marks the sender busy, corrupts overlapping
+// receptions, charges listeners, and schedules the end handler.
+func (n *Network) begin(ns *nodeState, tx *transmission, airtime time.Duration, done func()) {
+	ns.txActive = true
+	// Half-duplex: anything the sender was hearing is lost to it.
+	for _, other := range ns.audible {
+		if !other.corrupted[ns.id] {
+			other.corrupted[ns.id] = true
+			n.stats.Collisions++
+		}
+	}
+	for _, nb := range n.field.Neighbors(ns.id) {
+		rs := n.nodes[nb]
+		if !rs.on {
+			continue
+		}
+		// The receiver's radio is captured for the airtime either way.
+		n.energy[nb].Receive(tx.frame.Bytes)
+		if rs.txActive {
+			tx.corrupted[nb] = true
+			n.stats.Collisions++
+		}
+		if len(rs.audible) > 0 {
+			// Overlap: this frame and everything already audible at nb are
+			// corrupted at nb.
+			if !tx.corrupted[nb] {
+				tx.corrupted[nb] = true
+				n.stats.Collisions++
+			}
+			for _, other := range rs.audible {
+				if !other.corrupted[nb] {
+					other.corrupted[nb] = true
+					n.stats.Collisions++
+				}
+			}
+		}
+		rs.audible = append(rs.audible, tx)
+	}
+	n.kernel.Schedule(airtime, func() {
+		ns.txActive = false
+		n.end(tx)
+		done()
+	})
+}
+
+// end removes tx from every receiver's audible set and delivers it where it
+// survived.
+func (n *Network) end(tx *transmission) {
+	senderDied := !n.nodes[tx.from].on // died mid-frame: nothing decodable
+	for _, nb := range n.field.Neighbors(tx.from) {
+		rs := n.nodes[nb]
+		idx := -1
+		for i, a := range rs.audible {
+			if a == tx {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue // receiver was off when tx started, or turned off since
+		}
+		rs.audible = append(rs.audible[:idx], rs.audible[idx+1:]...)
+		if !rs.on || senderDied || tx.corrupted[nb] {
+			continue
+		}
+		if tx.kind == txRTS || tx.kind == txCTS {
+			// Virtual carrier sense: third parties defer for the whole
+			// advertised exchange.
+			if tx.to != nb {
+				if until := n.kernel.Now() + tx.nav; until > rs.navUntil {
+					rs.navUntil = until
+				}
+			}
+			continue // handshake handled by the two parties' callbacks
+		}
+		if tx.kind == txAck {
+			continue // ACK consumption handled by the waiting sender
+		}
+		if tx.to != Broadcast && tx.to != nb {
+			continue // unicast overheard by a third party: charged, not delivered
+		}
+		if rs.recv != nil {
+			n.stats.Delivered++
+			rs.recv(tx.from, tx.frame)
+		}
+	}
+}
+
+// finishData runs at the end of a data frame's airtime: handle ACKs for
+// unicast, advance the queue for broadcast.
+func (n *Network) finishData(ns *nodeState, of *outFrame, tx *transmission) {
+	if !ns.on {
+		return
+	}
+	if of.to == Broadcast {
+		n.dequeueAndContinue(ns)
+		return
+	}
+	// Unicast: did the destination get it?
+	dest := n.nodes[of.to]
+	gotIt := dest.on && n.field.InRange(ns.id, of.to) && !tx.corrupted[of.to]
+	if gotIt {
+		// Destination sends an ACK after SIFS, bypassing contention.
+		n.kernel.Schedule(n.params.SIFS, func() { n.sendAck(dest, ns, of) })
+		return
+	}
+	// No ACK will come; wait out the ACK window before retrying.
+	timeout := n.params.SIFS + n.model.Airtime(n.params.AckBytes) + n.params.SlotTime
+	n.kernel.Schedule(timeout, func() { n.ackTimeout(ns, of) })
+}
+
+// sendAck transmits the ACK frame from dest back to src and, if it survives,
+// completes src's pending frame.
+func (n *Network) sendAck(dest, src *nodeState, of *outFrame) {
+	if !dest.on {
+		n.ackTimeout(src, of)
+		return
+	}
+	ackTx := &transmission{
+		from:      dest.id,
+		to:        src.id,
+		kind:      txAck,
+		frame:     Frame{Bytes: n.params.AckBytes},
+		corrupted: make(map[topology.NodeID]bool),
+	}
+	airtime := n.energy[dest.id].Transmit(n.params.AckBytes)
+	n.stats.AckTx++
+	n.stats.BytesOnAir += int64(n.params.AckBytes)
+	n.begin(dest, ackTx, airtime, func() {
+		if !src.on {
+			return
+		}
+		if dest.on && n.field.InRange(dest.id, src.id) && !ackTx.corrupted[src.id] {
+			// ACK received: success.
+			src.cw = n.params.CWMin
+			n.dequeueAndContinue(src)
+			return
+		}
+		n.ackTimeout(src, of)
+	})
+}
+
+// ackTimeout handles a missing ACK: retry with a doubled window or drop.
+func (n *Network) ackTimeout(ns *nodeState, of *outFrame) {
+	n.stats.AcksMissing++
+	if of.retries >= n.params.RetryLimit {
+		n.stats.Drops[DropRetryExceeded]++
+		ns.cw = n.params.CWMin
+		n.dequeueAndContinue(ns)
+		return
+	}
+	of.retries++
+	n.stats.Retries++
+	if ns.cw*2 <= n.params.CWMax {
+		ns.cw *= 2
+	}
+	ns.sending = true
+	slots := n.rng.Intn(ns.cw) + 1
+	n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, func() {
+		n.senseAndSend(ns)
+	})
+}
+
+// dequeueAndContinue pops the completed head frame and starts contention for
+// the next one, if any.
+func (n *Network) dequeueAndContinue(ns *nodeState) {
+	if len(ns.queue) > 0 {
+		ns.queue = ns.queue[1:]
+	}
+	ns.sending = false
+	if len(ns.queue) > 0 {
+		n.startContention(ns)
+	}
+}

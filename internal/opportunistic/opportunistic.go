@@ -1,0 +1,70 @@
+// Package opportunistic implements the paper's baseline: the original
+// directed-diffusion instantiation that builds a low-latency tree and
+// aggregates only where paths happen to overlap.
+//
+// Its local rules (§4.1, §4.3):
+//
+//   - A sink (and, transitively, every reinforced node) reinforces the
+//     neighbor from which it first received a previously unseen exploratory
+//     event — the empirically lowest-delay path. No reinforcement timer.
+//   - On-tree sources do not emit incremental cost messages; there is no
+//     notion of cost-to-tree.
+//   - Negative reinforcement degrades neighbors that delivered no new
+//     events within the window Tn (only duplicates), the original
+//     diffusion truncation rule.
+package opportunistic
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/topology"
+)
+
+// Strategy is the opportunistic-aggregation policy. The zero value is ready
+// to use.
+type Strategy struct{}
+
+var _ diffusion.Strategy = Strategy{}
+
+// Name implements diffusion.Strategy.
+func (Strategy) Name() string { return "opportunistic" }
+
+// SinkReinforceDelay implements diffusion.Strategy: reinforcement is
+// immediate on the first copy.
+func (Strategy) SinkReinforceDelay(diffusion.Params) time.Duration { return 0 }
+
+// UsesIncrementalCost implements diffusion.Strategy.
+func (Strategy) UsesIncrementalCost() bool { return false }
+
+// ChooseUpstream implements diffusion.Strategy: reinforce the neighbor that
+// delivered the first (lowest-delay) copy of the exploratory event.
+func (Strategy) ChooseUpstream(e *diffusion.ExplorEntry, exclude map[topology.NodeID]bool) (topology.NodeID, bool) {
+	c, ok := e.FirstCopy(exclude)
+	if !ok {
+		return 0, false
+	}
+	return c.Nbr, true
+}
+
+// Truncate implements diffusion.Strategy: degrade neighbors whose window
+// delivered no previously unseen events.
+func (Strategy) Truncate(window []diffusion.ReceivedAgg) []topology.NodeID {
+	fresh := make(map[topology.NodeID]bool)
+	seen := make(map[topology.NodeID]bool)
+	for _, a := range window {
+		seen[a.From] = true
+		if len(a.NewItems) > 0 {
+			fresh[a.From] = true
+		}
+	}
+	var victims []topology.NodeID
+	for nbr := range seen {
+		if !fresh[nbr] {
+			victims = append(victims, nbr)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	return victims
+}

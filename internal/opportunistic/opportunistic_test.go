@@ -1,0 +1,108 @@
+package opportunistic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/msg"
+	"repro/internal/topology"
+)
+
+func TestName(t *testing.T) {
+	if (Strategy{}).Name() != "opportunistic" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestNoReinforceDelay(t *testing.T) {
+	p := diffusion.DefaultParams()
+	p.ReinforceDelay = 7 * time.Second
+	if d := (Strategy{}).SinkReinforceDelay(p); d != 0 {
+		t.Fatalf("delay = %v, want 0 (immediate first-copy reinforcement)", d)
+	}
+}
+
+func TestNoIncrementalCost(t *testing.T) {
+	if (Strategy{}).UsesIncrementalCost() {
+		t.Fatal("opportunistic scheme must not emit incremental cost messages")
+	}
+}
+
+func TestChooseUpstreamFirstArrival(t *testing.T) {
+	e := &diffusion.ExplorEntry{Copies: []diffusion.Copy{
+		{Nbr: 9, E: 10, Arrival: 5},  // first but expensive
+		{Nbr: 2, E: 1, Arrival: 50},  // cheapest but late
+		{Nbr: 4, E: 10, Arrival: 60}, // irrelevant
+	}}
+	nbr, ok := Strategy{}.ChooseUpstream(e, nil)
+	if !ok || nbr != 9 {
+		t.Fatalf("ChooseUpstream = %d, want 9 (lowest delay, not lowest cost)", nbr)
+	}
+}
+
+func TestChooseUpstreamExcludes(t *testing.T) {
+	e := &diffusion.ExplorEntry{Copies: []diffusion.Copy{
+		{Nbr: 9, Arrival: 5},
+		{Nbr: 2, Arrival: 50},
+	}}
+	nbr, ok := Strategy{}.ChooseUpstream(e, map[topology.NodeID]bool{9: true})
+	if !ok || nbr != 2 {
+		t.Fatalf("ChooseUpstream = %d, want fallback 2", nbr)
+	}
+	if _, ok := (Strategy{}).ChooseUpstream(e, map[topology.NodeID]bool{9: true, 2: true}); ok {
+		t.Fatal("all excluded should fail")
+	}
+}
+
+func TestChooseUpstreamIgnoresIncCost(t *testing.T) {
+	// An entry with only an incremental cost candidate (no flood copies)
+	// offers nothing to the opportunistic rule.
+	e := &diffusion.ExplorEntry{HasC: true, BestC: 1, BestCNbr: 8}
+	if _, ok := (Strategy{}).ChooseUpstream(e, nil); ok {
+		t.Fatal("opportunistic rule must ignore incremental cost candidates")
+	}
+}
+
+func item(src topology.NodeID, seq int) msg.Item { return msg.Item{Source: src, Seq: seq} }
+
+func TestTruncateDuplicatesOnly(t *testing.T) {
+	window := []diffusion.ReceivedAgg{
+		{From: 1, Items: []msg.Item{item(10, 1)}, NewItems: []msg.Item{item(10, 1)}},
+		{From: 2, Items: []msg.Item{item(10, 1)}}, // pure duplicate
+		{From: 3, Items: []msg.Item{item(11, 1)}, NewItems: []msg.Item{item(11, 1)}},
+	}
+	victims := Strategy{}.Truncate(window)
+	if len(victims) != 1 || victims[0] != 2 {
+		t.Fatalf("victims = %v, want [2]", victims)
+	}
+}
+
+func TestTruncateMixedWindowKeepsNeighbor(t *testing.T) {
+	// A neighbor that sent one duplicate and one fresh aggregate stays.
+	window := []diffusion.ReceivedAgg{
+		{From: 2, Items: []msg.Item{item(10, 1)}},
+		{From: 2, Items: []msg.Item{item(10, 2)}, NewItems: []msg.Item{item(10, 2)}},
+	}
+	if victims := (Strategy{}).Truncate(window); len(victims) != 0 {
+		t.Fatalf("victims = %v, want none", victims)
+	}
+}
+
+func TestTruncateEmptyWindow(t *testing.T) {
+	if victims := (Strategy{}).Truncate(nil); len(victims) != 0 {
+		t.Fatalf("victims = %v for empty window", victims)
+	}
+}
+
+func TestTruncateDeterministicOrder(t *testing.T) {
+	window := []diffusion.ReceivedAgg{
+		{From: 7, Items: []msg.Item{item(1, 1)}},
+		{From: 3, Items: []msg.Item{item(1, 1)}},
+		{From: 5, Items: []msg.Item{item(1, 1)}},
+	}
+	victims := Strategy{}.Truncate(window)
+	if len(victims) != 3 || victims[0] != 3 || victims[1] != 5 || victims[2] != 7 {
+		t.Fatalf("victims = %v, want sorted [3 5 7]", victims)
+	}
+}

@@ -1,0 +1,99 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// FieldNode is one node to draw on a field map.
+type FieldNode struct {
+	X, Y float64
+	Mark rune // 0 draws the default '.'
+}
+
+// FieldMap renders a deployment area as an ASCII grid: '.' for plain
+// nodes and caller-chosen marks for special ones (sinks, sources, on-tree
+// relays). Marks later in the slice win collisions, so order nodes from
+// least to most important.
+type FieldMap struct {
+	Title          string
+	MinX, MinY     float64
+	MaxX, MaxY     float64
+	Nodes          []FieldNode
+	Width, Height  int // character grid; zero selects 64×24
+	Legend         map[rune]string
+	ShowCollisions bool // mark cells holding >1 node with '2'..'9'/'+'
+}
+
+// Render draws the map.
+func (m *FieldMap) Render(w io.Writer) error {
+	if m.MaxX <= m.MinX || m.MaxY <= m.MinY {
+		return fmt.Errorf("plot: degenerate field bounds")
+	}
+	width, height := m.Width, m.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 24
+	}
+	grid := make([][]rune, height)
+	counts := make([][]int, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+		counts[i] = make([]int, width)
+	}
+	for _, nd := range m.Nodes {
+		col := int((nd.X - m.MinX) / (m.MaxX - m.MinX) * float64(width-1))
+		row := height - 1 - int((nd.Y-m.MinY)/(m.MaxY-m.MinY)*float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			continue
+		}
+		mark := nd.Mark
+		if mark == 0 {
+			mark = '.'
+		}
+		counts[row][col]++
+		switch {
+		case m.ShowCollisions && counts[row][col] > 1 && grid[row][col] == '.' && mark == '.':
+			c := counts[row][col]
+			if c <= 9 {
+				grid[row][col] = rune('0' + c)
+			} else {
+				grid[row][col] = '+'
+			}
+		case mark != '.' || grid[row][col] == ' ':
+			// Important marks overwrite; plain dots never overwrite marks.
+			if grid[row][col] == ' ' || grid[row][col] == '.' ||
+				(mark != '.' && !isDigit(grid[row][col])) {
+				grid[row][col] = mark
+			}
+		}
+	}
+	if m.Title != "" {
+		fmt.Fprintln(w, m.Title)
+	}
+	border := "+" + strings.Repeat("-", width) + "+"
+	fmt.Fprintln(w, border)
+	for _, line := range grid {
+		fmt.Fprintf(w, "|%s|\n", string(line))
+	}
+	fmt.Fprintln(w, border)
+	if len(m.Legend) > 0 {
+		keys := make([]rune, 0, len(m.Legend))
+		for k := range m.Legend {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%c %s", k, m.Legend[k]))
+		}
+		fmt.Fprintln(w, strings.Join(parts, "   "))
+	}
+	return nil
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }

@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFieldMapRender(t *testing.T) {
+	m := FieldMap{
+		Title: "field",
+		MinX:  0, MinY: 0, MaxX: 100, MaxY: 100,
+		Nodes: []FieldNode{
+			{X: 10, Y: 10},
+			{X: 50, Y: 50, Mark: '*'},
+			{X: 90, Y: 90, Mark: 'S'},
+		},
+		Legend: map[rune]string{'S': "sink", '*': "relay"},
+		Width:  20, Height: 10,
+	}
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"field", "S sink", "* relay", "*", "S", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Geometry: S (top-right) must appear above and to the right of the
+	// default node (bottom-left).
+	lines := strings.Split(out, "\n")
+	var sRow, sCol, dotRow, dotCol int
+	for r, line := range lines {
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		if c := strings.IndexRune(line, 'S'); c >= 0 && !strings.Contains(line, "sink") {
+			sRow, sCol = r, c
+		}
+		if c := strings.IndexRune(line, '.'); c >= 0 {
+			dotRow, dotCol = r, c
+		}
+	}
+	if sRow >= dotRow || sCol <= dotCol {
+		t.Fatalf("orientation wrong: S at (%d,%d), . at (%d,%d)\n%s", sRow, sCol, dotRow, dotCol, out)
+	}
+}
+
+func TestFieldMapDegenerateBounds(t *testing.T) {
+	m := FieldMap{MinX: 5, MaxX: 5, MinY: 0, MaxY: 1}
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err == nil {
+		t.Fatal("degenerate bounds accepted")
+	}
+}
+
+func TestFieldMapMarksBeatDots(t *testing.T) {
+	// Two nodes in the same cell: the special mark must win regardless of
+	// insertion order.
+	m := FieldMap{
+		MinX: 0, MinY: 0, MaxX: 10, MaxY: 10,
+		Nodes: []FieldNode{
+			{X: 5, Y: 5, Mark: 'S'},
+			{X: 5, Y: 5}, // plain dot second
+		},
+		Width: 10, Height: 10,
+	}
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "S") {
+		t.Fatalf("mark overwritten by dot:\n%s", buf.String())
+	}
+}
+
+func TestFieldMapOutOfBoundsSkipped(t *testing.T) {
+	m := FieldMap{
+		MinX: 0, MinY: 0, MaxX: 10, MaxY: 10,
+		Nodes: []FieldNode{{X: 50, Y: 50, Mark: 'X'}},
+	}
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "X") {
+		t.Fatal("out-of-bounds node drawn")
+	}
+}
+
+func TestFieldMapCollisionCounts(t *testing.T) {
+	m := FieldMap{
+		MinX: 0, MinY: 0, MaxX: 10, MaxY: 10,
+		Nodes: []FieldNode{
+			{X: 5, Y: 5}, {X: 5, Y: 5},
+		},
+		Width: 5, Height: 5, ShowCollisions: true,
+	}
+	var buf bytes.Buffer
+	if err := m.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2") {
+		t.Fatalf("collision count not drawn:\n%s", buf.String())
+	}
+}

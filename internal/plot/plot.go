@@ -1,0 +1,141 @@
+// Package plot renders simple ASCII line charts, so the experiment harness
+// can draw each figure panel in a terminal next to its table — the closest
+// a stdlib-only reproduction gets to the paper's figures.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of y values, sharing the chart's x values.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// Chart is an ASCII scatter/line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Series []Series
+	// Width and Height are the plotting area in characters; zero selects
+	// 56×16.
+	Width, Height int
+}
+
+// markers assigns one rune per series, cycling if needed.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart. It returns an error for structurally invalid
+// charts (no points, mismatched series lengths).
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.Xs) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("plot: empty chart")
+	}
+	for _, s := range c.Series {
+		if len(s.Ys) != len(c.Xs) {
+			return fmt.Errorf("plot: series %q has %d points, want %d", s.Name, len(s.Ys), len(c.Xs))
+		}
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 56
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	xmin, xmax := minMax(c.Xs)
+	var ys []float64
+	for _, s := range c.Series {
+		ys = append(ys, s.Ys...)
+	}
+	ymin, ymax := minMax(ys)
+	if ymax == ymin {
+		ymax = ymin + 1 // flat lines still render mid-chart
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	// A little headroom keeps markers off the frame.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i, x := range c.Xs {
+			y := s.Ys[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				if grid[row][col] != ' ' && grid[row][col] != m {
+					grid[row][col] = '&' // overlapping series
+				} else {
+					grid[row][col] = m
+				}
+			}
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	for i, line := range grid {
+		yval := ymax - (ymax-ymin)*float64(i)/float64(height-1)
+		label := ""
+		if i == 0 || i == height-1 || i == height/2 {
+			label = trimFloat(yval)
+		}
+		fmt.Fprintf(w, "%12s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%12s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%12s  %-*s%s\n", "", width-len(trimFloat(xmax)), trimFloat(xmin), trimFloat(xmax))
+
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%12s  %s", "", strings.Join(legend, "   "))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "   [x: %s, y: %s]", c.XLabel, c.YLabel)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) { // all values were invalid
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}

@@ -1,0 +1,139 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "nodes",
+		YLabel: "J",
+		Xs:     []float64{50, 150, 250, 350},
+		Series: []Series{
+			{Name: "greedy", Ys: []float64{1, 2, 3, 4}},
+			{Name: "opportunistic", Ys: []float64{1, 3, 5, 7}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test chart", "* greedy", "o opportunistic", "[x: nodes, y: J]", "50", "350"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Error("markers not drawn")
+	}
+}
+
+func TestRenderMonotoneSeriesGoesUp(t *testing.T) {
+	c := Chart{
+		Xs:     []float64{0, 1, 2},
+		Series: []Series{{Name: "s", Ys: []float64{0, 5, 10}}},
+		Width:  30, Height: 10,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// First marker row from the top should hold the max (rightmost x);
+	// the last marker row the min (leftmost x).
+	firstCol, lastCol := -1, -1
+	for _, line := range lines {
+		if i := strings.IndexRune(line, '*'); i >= 0 {
+			if firstCol == -1 {
+				firstCol = i
+			}
+			lastCol = i
+		}
+	}
+	if firstCol <= lastCol {
+		t.Fatalf("increasing series should render top-right (first *@%d, last *@%d)\n%s",
+			firstCol, lastCol, buf.String())
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{}).Render(&buf); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := Chart{Xs: []float64{1, 2}, Series: []Series{{Name: "s", Ys: []float64{1}}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestRenderFlatLine(t *testing.T) {
+	c := Chart{
+		Xs:     []float64{1, 2, 3},
+		Series: []Series{{Name: "flat", Ys: []float64{5, 5, 5}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsRune(buf.String(), '*') {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	c := Chart{
+		Xs:     []float64{1, 2, 3},
+		Series: []Series{{Name: "s", Ys: []float64{1, math.NaN(), 3}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	markers := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "|") {
+			markers += strings.Count(line, "*")
+		}
+	}
+	if markers != 2 {
+		t.Fatalf("expected exactly 2 plotted markers, got %d:\n%s", markers, buf.String())
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	c := Chart{
+		Xs: []float64{1, 2},
+		Series: []Series{
+			{Name: "a", Ys: []float64{1, 2}},
+			{Name: "b", Ys: []float64{1, 2}}, // identical: overlaps
+		},
+		Width: 20, Height: 8,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsRune(buf.String(), '&') {
+		t.Fatalf("overlapping points should render '&':\n%s", buf.String())
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	c := Chart{
+		Xs:     []float64{7},
+		Series: []Series{{Name: "p", Ys: []float64{3}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsRune(buf.String(), '*') {
+		t.Fatal("single point not drawn")
+	}
+}

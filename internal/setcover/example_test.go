@@ -1,0 +1,29 @@
+package setcover_test
+
+import (
+	"fmt"
+
+	"repro/internal/setcover"
+)
+
+// The paper's Figure 4(a) instance: three incoming aggregates covering
+// events a1, a2, b1, b2 at costs 5, 6, 7. The greedy heuristic selects S1
+// then S2; the outgoing aggregate's cost attribute is the cover weight
+// plus one for the node's own transmission.
+func ExampleGreedy() {
+	universe := []string{"a1", "a2", "b1", "b2"}
+	family := []setcover.Subset[string]{
+		{Label: 1, Elements: []string{"a1", "a2", "b1"}, Weight: 5},
+		{Label: 2, Elements: []string{"b1", "b2"}, Weight: 6},
+		{Label: 3, Elements: []string{"a2", "b2"}, Weight: 7},
+	}
+	cover, err := setcover.Greedy(universe, family)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("chosen subsets:", setcover.ChosenLabels(family, cover))
+	fmt.Println("outgoing cost:", cover.Weight+1)
+	// Output:
+	// chosen subsets: [1 2]
+	// outgoing cost: 12
+}

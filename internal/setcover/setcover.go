@@ -1,0 +1,202 @@
+// Package setcover implements the greedy heuristic for the weighted
+// set-covering problem that the greedy aggregation scheme uses twice: to
+// compute the energy cost of an outgoing aggregate (§4.2) and to pick which
+// neighbors to negatively reinforce (§4.3).
+//
+// An instance is a universe X and a family of weighted subsets S_i ⊆ X with
+// weights w_i. The greedy heuristic repeatedly selects the subset with the
+// lowest cost ratio w_i / |uncovered(S_i)| until X is covered, then removes
+// subsets made redundant by the rest of the cover. Its worst-case
+// approximation ratio is ln d + 1 where d = max_i |S_i|.
+package setcover
+
+import (
+	"fmt"
+	"math"
+)
+
+// Subset is one candidate set with its weight. Elements are identified by
+// comparable keys chosen by the caller (event keys for aggregate costing,
+// source IDs for truncation).
+type Subset[E comparable] struct {
+	// Label identifies the subset to the caller (e.g. the neighbor that
+	// sent the aggregate).
+	Label int
+	// Elements are the members of the subset. Duplicates are ignored.
+	Elements []E
+	// Weight is the subset's cost; it must be non-negative.
+	Weight float64
+}
+
+// Cover is the result of the greedy heuristic.
+type Cover[E comparable] struct {
+	// Chosen holds the indices (into the input family) of the selected
+	// subsets, in selection order, after redundant-subset removal.
+	Chosen []int
+	// Weight is the total weight of the chosen subsets.
+	Weight float64
+	// Uncovered holds any universe elements no subset contains. If
+	// non-empty the instance was infeasible and the cover is best-effort
+	// over the coverable part.
+	Uncovered []E
+}
+
+// Covers reports whether the whole universe was covered.
+func (c Cover[E]) Covers() bool { return len(c.Uncovered) == 0 }
+
+// ChosenLabels maps the chosen indices through the family's labels.
+func ChosenLabels[E comparable](family []Subset[E], c Cover[E]) []int {
+	out := make([]int, 0, len(c.Chosen))
+	for _, i := range c.Chosen {
+		out = append(out, family[i].Label)
+	}
+	return out
+}
+
+// Greedy computes a low-weight cover of universe by the family using the
+// greedy heuristic with redundant-subset removal. Ties on cost ratio are
+// broken toward the lower family index, keeping runs deterministic.
+//
+// Subsets with negative weight cause an error: the heuristic's guarantees
+// (and the protocol's cost semantics) assume non-negative costs.
+func Greedy[E comparable](universe []E, family []Subset[E]) (Cover[E], error) {
+	for i, s := range family {
+		if s.Weight < 0 || math.IsNaN(s.Weight) {
+			return Cover[E]{}, fmt.Errorf("setcover: subset %d has invalid weight %v", i, s.Weight)
+		}
+	}
+
+	need := make(map[E]bool, len(universe))
+	for _, e := range universe {
+		need[e] = true
+	}
+
+	members := make([]map[E]bool, len(family))
+	for i, s := range family {
+		members[i] = make(map[E]bool, len(s.Elements))
+		for _, e := range s.Elements {
+			if need[e] { // elements outside the universe are irrelevant
+				members[i][e] = true
+			}
+		}
+	}
+
+	uncovered := len(need)
+	covered := make(map[E]bool, len(need))
+	used := make([]bool, len(family))
+	var chosen []int
+
+	for uncovered > 0 {
+		best, bestRatio, bestGain := -1, math.Inf(1), 0
+		for i := range family {
+			if used[i] {
+				continue
+			}
+			gain := 0
+			for e := range members[i] {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			ratio := family[i].Weight / float64(gain)
+			if ratio < bestRatio || (ratio == bestRatio && i < best) {
+				best, bestRatio, bestGain = i, ratio, gain
+			}
+		}
+		if best < 0 {
+			break // remaining elements are uncoverable
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for e := range members[best] {
+			covered[e] = true
+		}
+		uncovered -= bestGain
+	}
+
+	chosen = removeRedundant(chosen, members, covered)
+
+	var weight float64
+	for _, i := range chosen {
+		weight += family[i].Weight
+	}
+	var miss []E
+	for _, e := range universe {
+		if need[e] && !covered[e] {
+			miss = append(miss, e)
+			need[e] = false // report duplicates once
+		}
+	}
+	return Cover[E]{Chosen: chosen, Weight: weight, Uncovered: miss}, nil
+}
+
+// removeRedundant drops any chosen subset whose elements are all covered by
+// the union of the other chosen subsets — the final step of the heuristic in
+// §4.2. Candidates are examined in reverse selection order (later, lower
+// value picks go first) and the surviving order is preserved.
+func removeRedundant[E comparable](chosen []int, members []map[E]bool, covered map[E]bool) []int {
+	if len(chosen) <= 1 {
+		return chosen
+	}
+	counts := make(map[E]int, len(covered))
+	for _, i := range chosen {
+		for e := range members[i] {
+			counts[e]++
+		}
+	}
+	keep := make(map[int]bool, len(chosen))
+	for _, i := range chosen {
+		keep[i] = true
+	}
+	for k := len(chosen) - 1; k >= 0; k-- {
+		i := chosen[k]
+		redundant := true
+		for e := range members[i] {
+			if counts[e] < 2 {
+				redundant = false
+				break
+			}
+		}
+		if redundant {
+			keep[i] = false
+			for e := range members[i] {
+				counts[e]--
+			}
+		}
+	}
+	out := chosen[:0]
+	for _, i := range chosen {
+		if keep[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TransformToSources rescales a family of event-subsets into the paper's
+// source-domain instance for path truncation (§4.3): each subset's elements
+// are replaced by the set of values under key, and its weight becomes
+// w · |S*| / |S| so the initial cost ratios are preserved.
+func TransformToSources[E comparable, S comparable](family []Subset[E], key func(E) S) []Subset[S] {
+	out := make([]Subset[S], len(family))
+	for i, s := range family {
+		seen := make(map[S]bool, len(s.Elements))
+		var elems []S
+		for _, e := range s.Elements {
+			k := key(e)
+			if !seen[k] {
+				seen[k] = true
+				elems = append(elems, k)
+			}
+		}
+		w := s.Weight
+		if len(s.Elements) > 0 {
+			w = s.Weight * float64(len(elems)) / float64(len(s.Elements))
+		}
+		out[i] = Subset[S]{Label: s.Label, Elements: elems, Weight: w}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A Kernel owns a virtual clock and a priority queue of scheduled events.
+// Events fire in timestamp order; events scheduled for the same instant fire
+// in the order they were scheduled, which makes runs bit-for-bit reproducible
+// for a fixed seed. All simulation randomness should flow from the kernel's
+// RNG so that a (seed, configuration) pair fully determines a run.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured from the start of the run.
+// It is a time.Duration so that callers get readable literals (500 *
+// time.Millisecond) and safe arithmetic for free.
+type Time = time.Duration
+
+// Handler is a callback invoked when a scheduled event fires.
+type Handler func()
+
+// Timer is a handle to a scheduled event. Its zero value is invalid; timers
+// are obtained from Kernel.Schedule and friends.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer if it has not fired yet. It reports whether the
+// cancellation prevented the event from firing. Stopping an already-fired or
+// already-stopped timer is a harmless no-op returning false.
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t Timer) Active() bool {
+	return t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+type event struct {
+	at        Time
+	seq       uint64 // tie-break: FIFO among same-time events
+	fn        Handler
+	cancelled bool
+	fired     bool
+	index     int // heap index
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; a simulation run lives on one goroutine by design.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	running bool
+	stopped bool
+
+	// Processed counts events that have fired since construction.
+	processed uint64
+}
+
+// NewKernel returns a kernel whose randomness is derived from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's random source. All model randomness must come
+// from here to keep runs reproducible.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Processed returns the number of events fired so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet drained).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// ErrNegativeDelay is returned (via panic recovery in tests) when scheduling
+// into the past is attempted.
+var ErrNegativeDelay = errors.New("sim: negative delay")
+
+// Schedule runs fn after delay of virtual time. A zero delay schedules fn at
+// the current instant, after all previously scheduled events for that
+// instant. Negative delays panic: they indicate a model bug, not a runtime
+// condition a caller could handle.
+func (k *Kernel) Schedule(delay Time, fn Handler) Timer {
+	if delay < 0 {
+		panic(fmt.Errorf("%w: %v", ErrNegativeDelay, delay))
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// At runs fn at the absolute virtual time at. Times in the past panic.
+func (k *Kernel) At(at Time, fn Handler) Timer {
+	if at < k.now {
+		panic(fmt.Errorf("%w: at=%v now=%v", ErrNegativeDelay, at, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return Timer{ev: ev}
+}
+
+// Stop makes Run return after the currently firing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run fires events in order until the queue empties, the horizon passes, or
+// Stop is called. It returns the virtual time at which it stopped.
+//
+// Events scheduled exactly at the horizon still fire; the first event
+// strictly beyond it ends the run with the clock advanced to the horizon.
+func (k *Kernel) Run(horizon Time) Time {
+	if k.running {
+		panic("sim: Run re-entered")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+
+	for len(k.queue) > 0 && !k.stopped {
+		ev := k.queue[0]
+		if ev.at > horizon {
+			k.now = horizon
+			return k.now
+		}
+		heap.Pop(&k.queue)
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		ev.fired = true
+		k.processed++
+		ev.fn()
+	}
+	if k.now < horizon && !k.stopped {
+		k.now = horizon
+	}
+	return k.now
+}
+
+// Step fires exactly one pending (non-cancelled) event and reports whether
+// one fired. It is mainly useful in tests that want to single-step a model.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		ev.fired = true
+		k.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Sample
+		want float64
+	}{
+		{"single", Sample{5}, 5},
+		{"pair", Sample{2, 4}, 3},
+		{"negative", Sample{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Mean(); got != tt.want {
+			t.Errorf("%s: Mean = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	if !math.IsNaN((Sample{}).Mean()) {
+		t.Error("empty mean should be NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Known value: {2,4,4,4,5,5,7,9} has sample stddev ≈ 2.138.
+	s := Sample{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := s.StdDev(); math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("StdDev = %v, want ≈2.138", got)
+	}
+	if (Sample{1}).StdDev() != 0 {
+		t.Error("singleton stddev should be 0")
+	}
+	if (Sample{}).StdDev() != 0 {
+		t.Error("empty stddev should be 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s := Sample{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	se := s.StdDev() / math.Sqrt(10)
+	if got, want := s.CI95(), 1.96*se; math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	s := Sample{5, 1, 9, 3}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Median(); got != 4 { // (3+5)/2
+		t.Errorf("Median = %v, want 4", got)
+	}
+	odd := Sample{5, 1, 9}
+	if got := odd.Median(); got != 5 {
+		t.Errorf("odd Median = %v, want 5", got)
+	}
+	if !math.IsNaN((Sample{}).Min()) || !math.IsNaN((Sample{}).Max()) || !math.IsNaN((Sample{}).Median()) {
+		t.Error("empty sample extremes should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	s := Sample{3, 1, 2}
+	s.Median()
+	if s[0] != 3 || s[1] != 1 || s[2] != 2 {
+		t.Fatalf("Median mutated the sample: %v", s)
+	}
+}
+
+func TestRatioAndSavings(t *testing.T) {
+	r, err := Ratio(1, 2)
+	if err != nil || r != 0.5 {
+		t.Fatalf("Ratio = %v, %v", r, err)
+	}
+	if _, err := Ratio(1, 0); err == nil {
+		t.Fatal("expected error on zero denominator")
+	}
+	// Paper headline: greedy dissipates 55% of opportunistic → 45% savings.
+	sv, err := SavingsPercent(0.55, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sv-45) > 1e-9 {
+		t.Errorf("SavingsPercent = %v, want 45", sv)
+	}
+	if _, err := SavingsPercent(1, 0); err == nil {
+		t.Fatal("expected error on zero baseline")
+	}
+}
+
+// Property: mean is always within [min, max]; stddev is non-negative.
+func TestPropertyMeanBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make(Sample, len(raw))
+		for i, v := range raw {
+			s[i] = float64(v)
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.StdDev() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	got := Sample{1, 1, 1}.Summary()
+	if got == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestPairedSavings(t *testing.T) {
+	// Each field has wildly different absolute scale, but a is always
+	// exactly 20% below b: the paired CI must be (near) zero while the
+	// unpaired spread is huge.
+	b := Sample{10, 100, 1000, 50}
+	a := Sample{8, 80, 800, 40}
+	mean, ci, err := PairedSavings(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.2) > 1e-12 {
+		t.Fatalf("mean savings = %v, want 0.2", mean)
+	}
+	if ci > 1e-12 {
+		t.Fatalf("paired CI = %v, want ~0 for a constant ratio", ci)
+	}
+	if _, _, err := PairedSavings(Sample{1}, Sample{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := PairedSavings(Sample{}, Sample{}); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, _, err := PairedSavings(Sample{1}, Sample{0}); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}

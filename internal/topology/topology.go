@@ -1,0 +1,255 @@
+// Package topology generates and queries sensor fields: node placements in a
+// rectangular area with a fixed radio range (unit-disk connectivity).
+//
+// The paper studies seven field sizes (50..350 nodes in steps of 50) placed
+// uniformly at random in a 200 m × 200 m square with a 40 m radio range,
+// giving mean radio densities from ~6 to ~43 neighbors. Ten random fields per
+// size are generated and results averaged; a Field here corresponds to one
+// such placement, identified by its seed.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// NodeID identifies a node within a field. IDs are dense, starting at 0.
+// Note that node IDs exist only in the simulator and its reports; the
+// simulated protocol itself is address-free (nodes only distinguish
+// neighbors), per the diffusion design.
+type NodeID int
+
+// Field is an immutable node placement with unit-disk connectivity.
+type Field struct {
+	area      geom.Rect
+	rng       float64 // radio range, meters
+	positions []geom.Point
+	neighbors [][]NodeID
+}
+
+// Config describes a field to generate.
+type Config struct {
+	// Area is the deployment region. The paper uses a 200 m square.
+	Area geom.Rect
+	// Nodes is the number of sensor nodes to place.
+	Nodes int
+	// Range is the radio range in meters (40 m in the paper).
+	Range float64
+}
+
+// Validate reports the first problem with the configuration, if any.
+func (c Config) Validate() error {
+	switch {
+	case !c.Area.Valid():
+		return fmt.Errorf("topology: invalid area %+v", c.Area)
+	case c.Nodes < 2:
+		return fmt.Errorf("topology: need at least 2 nodes, got %d", c.Nodes)
+	case c.Range <= 0:
+		return fmt.Errorf("topology: non-positive radio range %v", c.Range)
+	default:
+		return nil
+	}
+}
+
+// Generate places cfg.Nodes nodes uniformly at random in cfg.Area using rng
+// and returns the resulting field.
+func Generate(cfg Config, rng *rand.Rand) (*Field, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, cfg.Nodes)
+	for i := range pts {
+		pts[i] = cfg.Area.Sample(rng)
+	}
+	return FromPositions(cfg.Area, cfg.Range, pts)
+}
+
+// FromPositions builds a field from explicit positions. Positions outside
+// the area are rejected: they indicate a workload-construction bug.
+func FromPositions(area geom.Rect, radioRange float64, pts []geom.Point) (*Field, error) {
+	if !area.Valid() {
+		return nil, fmt.Errorf("topology: invalid area %+v", area)
+	}
+	if radioRange <= 0 {
+		return nil, fmt.Errorf("topology: non-positive radio range %v", radioRange)
+	}
+	for i, p := range pts {
+		if !area.Contains(p) {
+			return nil, fmt.Errorf("topology: node %d at %v outside area %+v", i, p, area)
+		}
+	}
+	f := &Field{
+		area:      area,
+		rng:       radioRange,
+		positions: append([]geom.Point(nil), pts...),
+	}
+	f.buildNeighbors()
+	return f, nil
+}
+
+// buildNeighbors computes the unit-disk adjacency lists with a uniform grid
+// so generation stays near-linear in node count.
+func (f *Field) buildNeighbors() {
+	n := len(f.positions)
+	f.neighbors = make([][]NodeID, n)
+	if n == 0 {
+		return
+	}
+	cell := f.rng
+	cols := int(f.area.Width()/cell) + 1
+	rows := int(f.area.Height()/cell) + 1
+	grid := make(map[int][]NodeID, n)
+	cellOf := func(p geom.Point) (int, int) {
+		cx := int((p.X - f.area.MinX) / cell)
+		cy := int((p.Y - f.area.MinY) / cell)
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		return cx, cy
+	}
+	for i, p := range f.positions {
+		cx, cy := cellOf(p)
+		key := cy*cols + cx
+		grid[key] = append(grid[key], NodeID(i))
+	}
+	r2 := f.rng * f.rng
+	for i, p := range f.positions {
+		cx, cy := cellOf(p)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= cols || ny >= rows {
+					continue
+				}
+				for _, j := range grid[ny*cols+nx] {
+					if int(j) == i {
+						continue
+					}
+					if p.Dist2(f.positions[j]) <= r2 {
+						f.neighbors[i] = append(f.neighbors[i], j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Len returns the number of nodes in the field.
+func (f *Field) Len() int { return len(f.positions) }
+
+// Area returns the deployment region.
+func (f *Field) Area() geom.Rect { return f.area }
+
+// Range returns the radio range in meters.
+func (f *Field) Range() float64 { return f.rng }
+
+// Position returns the location of node id.
+func (f *Field) Position(id NodeID) geom.Point { return f.positions[id] }
+
+// Neighbors returns the nodes within radio range of id. The returned slice
+// is owned by the field; callers must not modify it.
+func (f *Field) Neighbors(id NodeID) []NodeID { return f.neighbors[id] }
+
+// InRange reports whether a and b can hear each other.
+func (f *Field) InRange(a, b NodeID) bool {
+	return a != b && f.positions[a].Dist2(f.positions[b]) <= f.rng*f.rng
+}
+
+// MeanDegree returns the average neighbor count — the paper's "radio
+// density" axis.
+func (f *Field) MeanDegree() float64 {
+	if len(f.neighbors) == 0 {
+		return 0
+	}
+	total := 0
+	for _, ns := range f.neighbors {
+		total += len(ns)
+	}
+	return float64(total) / float64(len(f.neighbors))
+}
+
+// NodesIn returns the IDs of nodes inside region, in ID order.
+func (f *Field) NodesIn(region geom.Rect) []NodeID {
+	var ids []NodeID
+	for i, p := range f.positions {
+		if region.Contains(p) {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	return ids
+}
+
+// Connected reports whether every node in ids can reach every other via
+// multi-hop paths through the whole field. It is used by workload generation
+// to discard partitioned placements (a disconnected source would make the
+// delivery-ratio metric meaningless for reasons unrelated to the protocols).
+func (f *Field) Connected(ids []NodeID) bool {
+	if len(ids) <= 1 {
+		return true
+	}
+	comp := f.components()
+	want := comp[ids[0]]
+	for _, id := range ids[1:] {
+		if comp[id] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// components labels each node with its connected-component index.
+func (f *Field) components() []int {
+	comp := make([]int, len(f.positions))
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []NodeID
+	for start := range f.positions {
+		if comp[start] != -1 {
+			continue
+		}
+		stack = append(stack[:0], NodeID(start))
+		comp[start] = next
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range f.neighbors[v] {
+				if comp[w] == -1 {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// HopDistances returns the hop count from src to every node (-1 if
+// unreachable) via breadth-first search. Used by the abstract tree models
+// and by tests as an oracle for path lengths.
+func (f *Field) HopDistances(src NodeID) []int {
+	dist := make([]int, len(f.positions))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range f.neighbors[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}

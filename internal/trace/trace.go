@@ -1,0 +1,160 @@
+// Package trace records structured protocol events for debugging and
+// analysis. A Recorder keeps a bounded ring of events and can stream them
+// to a writer as they happen; filters restrict recording to the events of
+// interest so multi-minute simulations stay cheap to trace.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/topology"
+)
+
+// Op classifies a traced protocol action.
+type Op int
+
+// Operations.
+const (
+	// OpSend is a protocol message handed to the MAC.
+	OpSend Op = iota + 1
+	// OpReceive is a protocol message delivered to a node.
+	OpReceive
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpReceive:
+		return "recv"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Event is one traced protocol action.
+type Event struct {
+	At   time.Duration
+	Op   Op
+	Node topology.NodeID
+	Peer topology.NodeID // destination for sends (-1 broadcast), sender for receives
+	Kind msg.Kind
+	// Items is the data payload size in events, E/C/W the cost attributes.
+	Items   int
+	E, C, W int
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v %s node=%d peer=%d %s items=%d E=%d C=%d W=%d",
+		e.At, e.Op, e.Node, e.Peer, e.Kind, e.Items, e.E, e.C, e.W)
+}
+
+// Filter reports whether an event should be recorded.
+type Filter func(Event) bool
+
+// KindFilter keeps only events of the given message kinds.
+func KindFilter(kinds ...msg.Kind) Filter {
+	set := make(map[msg.Kind]bool, len(kinds))
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return func(e Event) bool { return set[e.Kind] }
+}
+
+// NodeFilter keeps only events at the given nodes.
+func NodeFilter(nodes ...topology.NodeID) Filter {
+	set := make(map[topology.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		set[n] = true
+	}
+	return func(e Event) bool { return set[e.Node] }
+}
+
+// And combines filters conjunctively.
+func And(fs ...Filter) Filter {
+	return func(e Event) bool {
+		for _, f := range fs {
+			if !f(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Recorder keeps the most recent events in a ring buffer and optionally
+// streams each recorded event to a writer.
+type Recorder struct {
+	cap     int
+	ring    []Event
+	next    int
+	full    bool
+	total   int
+	filter  Filter
+	stream  io.Writer
+	dropped int
+}
+
+// NewRecorder returns a recorder keeping up to capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{cap: capacity, ring: make([]Event, capacity)}
+}
+
+// SetFilter installs a recording filter; nil records everything.
+func (r *Recorder) SetFilter(f Filter) { r.filter = f }
+
+// Stream mirrors every recorded event to w as a text line; nil disables.
+func (r *Recorder) Stream(w io.Writer) { r.stream = w }
+
+// Record implements the diffusion tracer hook.
+func (r *Recorder) Record(e Event) {
+	if r.filter != nil && !r.filter(e) {
+		r.dropped++
+		return
+	}
+	r.ring[r.next] = e
+	r.next++
+	if r.next == r.cap {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	if r.stream != nil {
+		fmt.Fprintln(r.stream, e)
+	}
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Recorder) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.ring[:r.next]...)
+	}
+	out := make([]Event, 0, r.cap)
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Total returns how many events were recorded (including ones evicted from
+// the ring); Filtered returns how many the filter rejected.
+func (r *Recorder) Total() int { return r.total }
+
+// Filtered returns the number of events rejected by the filter.
+func (r *Recorder) Filtered() int { return r.dropped }
+
+// CountByKind tallies the retained events per message kind.
+func (r *Recorder) CountByKind() map[msg.Kind]int {
+	out := make(map[msg.Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
