@@ -1,7 +1,7 @@
 // Command experiments regenerates the paper's evaluation: every panel of
-// Figures 5-10, the abstract GIT-vs-SPT comparison, and the design-choice
-// ablations. Results are printed as aligned text tables and optionally
-// written as CSV files.
+// Figures 5-10, the abstract GIT-vs-SPT comparison, the design-choice
+// ablations, and the chaos robustness grid. Results are printed as aligned
+// text tables and optionally written as CSV files.
 //
 // Examples:
 //
@@ -52,7 +52,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", `figure to regenerate: 5..10, "git-spt", an ablation name, or "all"`)
+		fig      = fs.String("fig", "all", `figure to regenerate: 5..10, "git-spt", "lifetime", "chaos", an ablation name, or "all"`)
 		fields   = fs.Int("fields", 0, "random fields per data point (default: paper's 10, or 3 with -quick)")
 		duration = fs.Duration("duration", 0, "simulated seconds per run (default 160s, 60s with -quick)")
 		quick    = fs.Bool("quick", false, "reduced preset: 3 fields, 60 s, 3 densities")
@@ -136,12 +136,33 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *fig == "all" || *fig == "chaos" {
+		ran++
+		t0 := time.Now()
+		tbl, err := harness.Chaos(opts)
+		if err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+		if v := tbl.TotalViolations(); v != 0 {
+			fmt.Fprintf(out, "WARNING: %d protocol-invariant violations across the grid\n", v)
+		}
+		fmt.Fprintf(out, "(chaos grid regenerated in %v)\n\n", time.Since(t0).Round(time.Second))
+		if csvDir != "" {
+			if err := writeCSV(csvDir, "figchaos.csv", tbl.CSV); err != nil {
+				return err
+			}
+		}
+	}
+
 	if ran == 0 {
 		names := make([]string, 0, len(figures)+1)
 		for _, f := range figures {
 			names = append(names, f.name)
 		}
-		names = append(names, "git-spt", "lifetime")
+		names = append(names, "git-spt", "lifetime", "chaos")
 		return fmt.Errorf("unknown figure %q (have: %s, all)", *fig, strings.Join(names, ", "))
 	}
 	fmt.Fprintf(out, "total: %d table(s) in %v\n", ran, time.Since(start).Round(time.Second))

@@ -7,6 +7,8 @@
 //	wsnsim -scheme opportunistic -nodes 150 -failures
 //	wsnsim -scheme greedy -sources 14 -agg linear -duration 120s
 //	wsnsim -scheme greedy -nodes 80 -trace reinforce,negreinforce
+//	wsnsim -scheme greedy -loss 0.1 -amnesia 10s -invariants
+//	wsnsim -scheme opportunistic -partition 60s:100s -invariants
 package main
 
 import (
@@ -18,8 +20,10 @@ import (
 	"time"
 
 	"repro/internal/agg"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/geom"
 	"repro/internal/msg"
 	"repro/internal/plot"
 	"repro/internal/topology"
@@ -51,6 +55,15 @@ func run(args []string, out *os.File) error {
 		fieldMap  = fs.Bool("map", false, "draw the field and the final aggregation tree as ASCII art")
 		rtscts    = fs.Bool("rtscts", false, "enable the 802.11 RTS/CTS handshake for unicast data")
 		battery   = fs.Float64("battery", 0, "per-node battery budget in joules (0 = unlimited); depleted nodes die permanently")
+
+		loss        = fs.Float64("loss", 0, "i.i.d. per-reception link-loss probability (chaos layer)")
+		burst       = fs.Bool("burst", false, "bursty Gilbert-Elliott channel instead of i.i.d. loss")
+		asymFrac    = fs.Float64("asym-frac", 0, "fraction of directed links made asymmetric")
+		asymDrop    = fs.Float64("asym-drop", 0.5, "extra drop probability on asymmetric links")
+		amnesia     = fs.Duration("amnesia", 0, "mean interval between crash-with-amnesia events (0 = off)")
+		amnesiaDown = fs.Duration("amnesia-down", 2*time.Second, "downtime after each amnesia crash")
+		partition   = fs.String("partition", "", `diagonal field partition window, e.g. "60s:100s"`)
+		invariants  = fs.Bool("invariants", false, "arm the runtime protocol-invariant checker")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,7 +92,38 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	if *failures {
+	cc := chaos.Config{
+		Loss: chaos.LossConfig{
+			Drop:              *loss,
+			AsymmetryFraction: *asymFrac,
+			AsymmetryDrop:     *asymDrop,
+		},
+		Amnesia:         chaos.AmnesiaConfig{MeanInterval: *amnesia, Downtime: *amnesiaDown},
+		CheckInvariants: *invariants,
+	}
+	if *burst {
+		bc := chaos.DefaultBurstConfig()
+		cc.Loss.Burst = &bc
+	}
+	if *partition != "" {
+		p, err := parsePartition(*partition, cfg.FieldSide)
+		if err != nil {
+			return err
+		}
+		cc.Partitions = append(cc.Partitions, p)
+	}
+	chaosActive := *loss > 0 || *burst || *asymFrac > 0 || *amnesia > 0 ||
+		*partition != "" || *invariants
+	switch {
+	case chaosActive:
+		if *failures {
+			// Express the wave schedule through the chaos engine so it
+			// composes with the other faults (Config forbids setting both).
+			fc := failure.DefaultConfig()
+			cc.Waves = &fc
+		}
+		cfg.Chaos = &cc
+	case *failures:
 		fc := failure.DefaultConfig()
 		cfg.Failures = &fc
 	}
@@ -139,6 +183,23 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
+	if rep := res.Chaos; rep != nil {
+		fmt.Fprintf(out, "\nchaos: %d link losses, %d crashes\n", rep.LinkLoss, rep.Crashes)
+		if rec := rep.Recovery; rec != nil && rec.Faults > 0 {
+			fmt.Fprintf(out, "  faults                    %d (%d repaired)\n", rec.Faults, rec.Repaired)
+			fmt.Fprintf(out, "  mean time to repair       %v (max %v)\n",
+				rec.MeanTimeToRepair.Round(time.Millisecond), rec.MaxTimeToRepair.Round(time.Millisecond))
+			fmt.Fprintf(out, "  mean dip depth            %.2f\n", rec.MeanDipDepth)
+			fmt.Fprintf(out, "  availability              %.3f\n", rec.Availability)
+		}
+		if *invariants {
+			fmt.Fprintf(out, "  invariant violations      %d\n", rep.ViolationCount)
+			for _, v := range rep.Violations {
+				fmt.Fprintf(out, "    %v\n", v)
+			}
+		}
+	}
+
 	if *fieldMap {
 		if err := renderMap(out, cfg, res); err != nil {
 			return err
@@ -190,6 +251,31 @@ func renderMap(w io.Writer, cfg core.Config, res core.Output) error {
 		m.Nodes = append(m.Nodes, nd)
 	}
 	return m.Render(w)
+}
+
+// parsePartition turns "start:end" into a diagonal cut across the square
+// field for that time window.
+func parsePartition(arg string, fieldSide float64) (chaos.Partition, error) {
+	var p chaos.Partition
+	parts := strings.SplitN(arg, ":", 2)
+	if len(parts) != 2 {
+		return p, fmt.Errorf(`partition %q: want "start:end", e.g. "60s:100s"`, arg)
+	}
+	start, err := time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return p, fmt.Errorf("partition start: %w", err)
+	}
+	end, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return p, fmt.Errorf("partition end: %w", err)
+	}
+	m := fieldSide * 0.05
+	p = chaos.Partition{
+		Start: start, End: end,
+		A: geom.Point{X: -m, Y: fieldSide + m},
+		B: geom.Point{X: fieldSide + m, Y: -m},
+	}
+	return p, p.Validate()
 }
 
 func parseKinds(arg string) ([]msg.Kind, error) {

@@ -1,6 +1,9 @@
 package repro
 
 import (
+	"os"
+	"os/exec"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -165,4 +168,25 @@ func diff(a, b int) int {
 		return a - b
 	}
 	return b - a
+}
+
+// TestExamplesCompile keeps every example buildable: each is a main package
+// outside the test dependency graph, so only an explicit build catches rot.
+func TestExamplesCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles all example binaries")
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, dir := range dirs {
+		out, err := exec.Command("go", "build", "-o", os.DevNull, "./"+dir).CombinedOutput()
+		if err != nil {
+			t.Errorf("%s does not build: %v\n%s", dir, err, out)
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/msg"
 
+	"repro/internal/chaos"
 	"repro/internal/diffusion"
 	"repro/internal/energy"
 	"repro/internal/failure"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/opportunistic"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -111,9 +113,16 @@ type Config struct {
 	Workload workload.Config
 
 	// Failures, when non-nil, enables §5.3 node-failure dynamics.
-	// ProtectEndpoints exempts sources and sinks from failing.
+	// ProtectEndpoints exempts sources and sinks from failing (and, with
+	// Chaos, from crash faults).
 	Failures         *failure.Config
 	ProtectEndpoints bool
+
+	// Chaos, when non-nil, enables the composable fault-injection layer:
+	// link loss, crashes with amnesia, partitions, the invariant checker,
+	// and recovery metrics. Chaos.Waves supersedes Failures — setting both
+	// is a configuration error.
+	Chaos *chaos.Config
 
 	// Duration is the simulated time; events generated in the final
 	// DrainTail are not counted (they would have no time to arrive).
@@ -193,6 +202,14 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Chaos != nil {
+		if err := c.Chaos.Validate(); err != nil {
+			return err
+		}
+		if c.Chaos.Waves != nil && c.Failures != nil {
+			return fmt.Errorf("core: failure waves configured twice (Failures and Chaos.Waves)")
+		}
+	}
 	if err := c.Diffusion.Validate(); err != nil {
 		return err
 	}
@@ -221,6 +238,9 @@ type Output struct {
 	// Trees holds, per interest, the data-gradient links (from, to) alive
 	// at the end of the run — the aggregation tree each scheme built.
 	Trees map[msg.InterestID][][2]topology.NodeID
+	// Chaos is the fault-injection report (invariant violations, recovery
+	// metrics, injection counters) when Config.Chaos is set; nil otherwise.
+	Chaos *chaos.Report
 }
 
 // Lifetime summarizes battery-depletion outcomes of a run.
@@ -272,6 +292,18 @@ func Run(cfg Config) (Output, error) {
 
 	collector := metrics.NewCollector(0, cfg.Duration-cfg.DrainTail, kernel.Now)
 
+	// The chaos engine interposes on the observer and tracer; with no Chaos
+	// config the run uses the bare collector.
+	var engine *chaos.Engine
+	observer := diffusion.Observer(collector)
+	if cfg.Chaos != nil {
+		engine, err = chaos.New(kernel, network, field, *cfg.Chaos)
+		if err != nil {
+			return Output{}, err
+		}
+		observer = engine.WrapObserver(collector)
+	}
+
 	// The runtime under test: a diffusion instantiation or one of the
 	// idealized reference schemes.
 	var (
@@ -283,14 +315,14 @@ func Run(cfg Config) (Output, error) {
 	switch cfg.Scheme {
 	case SchemeFlooding:
 		flood, err = idealized.NewFlooding(kernel, network, field, idealizedParams(cfg),
-			idealized.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, collector)
+			idealized.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, observer)
 		if err != nil {
 			return Output{}, err
 		}
 		startRun = flood.Start
 	case SchemeOmniscient:
 		mcast, err = idealized.NewMulticast(kernel, network, field, idealizedParams(cfg),
-			idealized.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, collector)
+			idealized.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, observer)
 		if err != nil {
 			return Output{}, err
 		}
@@ -301,18 +333,31 @@ func Run(cfg Config) (Output, error) {
 			return Output{}, serr
 		}
 		rt, err = diffusion.New(kernel, network, field, cfg.Diffusion, strategy,
-			diffusion.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, collector)
+			diffusion.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, observer)
 		if err != nil {
 			return Output{}, err
 		}
-		if cfg.Tracer != nil {
-			rt.SetTracer(cfg.Tracer)
+		tracer := cfg.Tracer
+		if engine != nil {
+			if ck := engine.Checker(); ck != nil {
+				if tracer == nil {
+					tracer = ck
+				} else {
+					tracer = teeTracer{tracer, ck}
+				}
+			}
+		}
+		if tracer != nil {
+			rt.SetTracer(tracer)
 		}
 		startRun = rt.Start
 	}
 
 	fcfg := failure.Config{Fraction: 0, Wave: time.Second}
-	if cfg.Failures != nil {
+	switch {
+	case cfg.Chaos != nil && cfg.Chaos.Waves != nil:
+		fcfg = *cfg.Chaos.Waves
+	case cfg.Failures != nil:
 		fcfg = *cfg.Failures
 	}
 	if cfg.ProtectEndpoints {
@@ -321,6 +366,24 @@ func Run(cfg Config) (Output, error) {
 	sched, err := failure.New(kernel, network, field.Len(), fcfg)
 	if err != nil {
 		return Output{}, err
+	}
+
+	if engine != nil {
+		var (
+			trees chaos.TreeSource
+			wiper chaos.Wiper
+		)
+		if rt != nil {
+			trees, wiper = rt, rt
+		}
+		engine.Bind(chaos.Binding{
+			Sched:     sched,
+			Protect:   fcfg.Protect,
+			Trees:     trees,
+			Wiper:     wiper,
+			Interests: len(assign.Sinks),
+			EntryTTL:  cfg.Diffusion.ExploratoryPeriod + cfg.Diffusion.ExploratoryPeriod/2,
+		})
 	}
 
 	var life Lifetime
@@ -352,8 +415,16 @@ func Run(cfg Config) (Output, error) {
 
 	startRun()
 	sched.Start()
+	if engine != nil {
+		engine.Start()
+	}
 	kernel.Run(cfg.Duration)
 	sched.Finish()
+
+	var report *chaos.Report
+	if engine != nil {
+		report = engine.Finish(0, cfg.Duration-cfg.DrainTail)
+	}
 
 	var totalJ, commJ float64
 	perNodeComm := make([]float64, field.Len())
@@ -370,6 +441,9 @@ func Run(cfg Config) (Output, error) {
 		return Output{}, err
 	}
 	result.Concentration = metrics.NewConcentration(perNodeComm)
+	if report != nil {
+		result.Recovery = report.Recovery
+	}
 	positions := make([]geom.Point, field.Len())
 	for i := 0; i < field.Len(); i++ {
 		positions[i] = field.Position(topology.NodeID(i))
@@ -402,7 +476,18 @@ func Run(cfg Config) (Output, error) {
 		Positions:  positions,
 		Trees:      trees,
 		Lifetime:   life,
+		Chaos:      report,
 	}, nil
+}
+
+// teeTracer fans one protocol event stream out to two tracers (a
+// user-supplied recorder and the chaos invariant checker).
+type teeTracer struct{ a, b diffusion.Tracer }
+
+// Record implements diffusion.Tracer.
+func (t teeTracer) Record(e trace.Event) {
+	t.a.Record(e)
+	t.b.Record(e)
 }
 
 // idealizedParams maps the diffusion workload parameters onto the

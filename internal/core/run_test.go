@@ -1,10 +1,12 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/agg"
+	"repro/internal/chaos"
 	"repro/internal/failure"
 	"repro/internal/workload"
 )
@@ -71,6 +73,60 @@ func TestRunDeterminism(t *testing.T) {
 	}
 	if a.Metrics == c.Metrics {
 		t.Fatal("different seeds produced identical metrics")
+	}
+}
+
+// TestRunDeterminismWithFailures repeats the determinism contract with the
+// failure schedule enabled: wave draws ride the same kernel RNG, so two runs
+// of one seed must agree byte for byte.
+func TestRunDeterminismWithFailures(t *testing.T) {
+	fc := failure.DefaultConfig()
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Seed = 42
+	cfg.Duration = 60 * time.Second
+	cfg.Failures = &fc
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Fatalf("same seed with failures diverged:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if !reflect.DeepEqual(a.MAC, b.MAC) {
+		t.Fatalf("same seed with failures diverged in MAC stats:\n%+v\n%+v", a.MAC, b.MAC)
+	}
+}
+
+// TestRunDeterminismWithChaos extends the contract to the chaos engine's own
+// randomness (link-loss coin flips, crash scheduling): identical seeds must
+// yield identical metrics and identical fault injection.
+func TestRunDeterminismWithChaos(t *testing.T) {
+	cfg := quickCfg(SchemeOpportunistic)
+	cfg.Seed = 43
+	cfg.Duration = 60 * time.Second
+	cfg.Chaos = &chaos.Config{
+		Loss:            chaos.LossConfig{Drop: 0.1},
+		Amnesia:         chaos.AmnesiaConfig{MeanInterval: 10 * time.Second, Downtime: 2 * time.Second},
+		CheckInvariants: true,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Fatalf("same seed with chaos diverged:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if a.Chaos.Crashes != b.Chaos.Crashes || a.Chaos.LinkLoss != b.Chaos.LinkLoss {
+		t.Fatalf("fault injection diverged: %d/%d crashes, %d/%d losses",
+			a.Chaos.Crashes, b.Chaos.Crashes, a.Chaos.LinkLoss, b.Chaos.LinkLoss)
 	}
 }
 

@@ -103,7 +103,7 @@ func (n *node) addPending(st *interestState, c contribution) {
 		delay = n.rt.params.AggregationDelay
 	}
 	st.pending.armed = true
-	st.pending.timer = n.rt.kernel.Schedule(delay, func() {
+	st.pending.timer = n.scheduleEpoch(delay, func() {
 		st.pending.armed = false
 		if n.on() {
 			n.flush(st)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mac"
 	"repro/internal/msg"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -112,6 +113,12 @@ type node struct {
 	sourceStarted bool
 	interestRound int // next flood round (sinks)
 
+	// epoch increments on crash-with-amnesia; timers armed before the crash
+	// carry the epoch they were armed under and fire as no-ops afterwards,
+	// so rebooting cannot double the node's periodic loops or replay state
+	// the crash wiped.
+	epoch int
+
 	// procBias is this node's persistent share of the flood-forwarding
 	// jitter, modeling heterogeneous processing speed. A stable bias makes
 	// flood races have stable winners, which is what lets the
@@ -143,6 +150,38 @@ func (n *node) floodDelay() time.Duration {
 }
 
 func (n *node) on() bool { return n.rt.net.On(n.id) }
+
+// scheduleEpoch schedules fn to run only if the node has not crashed with
+// amnesia in the meantime. All per-state timers (periodic source loops,
+// flood forwards, reinforcement and flush timers) go through here; the
+// node-global housekeeping loops and a sink's interest flood deliberately do
+// not, since they survive reboots.
+func (n *node) scheduleEpoch(d time.Duration, fn func()) sim.Timer {
+	ep := n.epoch
+	return n.rt.kernel.Schedule(d, func() {
+		if n.epoch == ep {
+			fn()
+		}
+	})
+}
+
+// amnesia models a crash-and-reboot that loses RAM: every interest's soft
+// state (gradients, exploratory entry caches, duplicate-suppression caches,
+// aggregation buffers, source activation) vanishes, so the node must re-learn
+// the tree from subsequent floods. Counters a real deployment would keep in
+// flash to avoid reusing identifiers — the item sequence number and a sink's
+// interest round — survive, as does the hardware processing bias.
+func (n *node) amnesia() {
+	for _, st := range n.interests {
+		if st.pending.armed {
+			st.pending.timer.Stop()
+			st.pending.armed = false
+		}
+	}
+	n.interests = make(map[msg.InterestID]*interestState)
+	n.sourceStarted = false
+	n.epoch++
+}
 
 func (n *node) now() time.Duration { return n.rt.kernel.Now() }
 
@@ -205,9 +244,9 @@ func (n *node) activateSource(iid msg.InterestID) {
 	st.activated = true
 	if !n.sourceStarted {
 		n.sourceStarted = true
-		n.rt.kernel.Schedule(n.rt.jitter(n.rt.params.DataPeriod), n.generateEvent)
+		n.scheduleEpoch(n.rt.jitter(n.rt.params.DataPeriod), n.generateEvent)
 	}
-	n.rt.kernel.Schedule(n.rt.jitter(n.rt.params.FloodJitterMax*4), func() {
+	n.scheduleEpoch(n.rt.jitter(n.rt.params.FloodJitterMax*4), func() {
 		n.exploratoryRound(iid)
 	})
 }
@@ -215,7 +254,7 @@ func (n *node) activateSource(iid msg.InterestID) {
 // generateEvent produces the next sensed item and hands it to every
 // activated interest's data path.
 func (n *node) generateEvent() {
-	defer n.rt.kernel.Schedule(n.rt.params.DataPeriod, n.generateEvent)
+	defer n.scheduleEpoch(n.rt.params.DataPeriod, n.generateEvent)
 	if !n.on() {
 		return
 	}
@@ -243,7 +282,7 @@ func (n *node) generateEvent() {
 // exploratoryRound floods one exploratory event for interest iid and
 // re-arms itself.
 func (n *node) exploratoryRound(iid msg.InterestID) {
-	defer n.rt.kernel.Schedule(n.rt.params.ExploratoryPeriod, func() { n.exploratoryRound(iid) })
+	defer n.scheduleEpoch(n.rt.params.ExploratoryPeriod, func() { n.exploratoryRound(iid) })
 	if !n.on() {
 		return
 	}
@@ -317,7 +356,7 @@ func (n *node) onInterest(from topology.NodeID, m msg.Message) {
 	}
 	st.seenRound = round
 	fwd := m // same round id; gradient setup is hop-by-hop
-	n.rt.kernel.Schedule(n.floodDelay(), func() {
+	n.scheduleEpoch(n.floodDelay(), func() {
 		if n.on() {
 			n.broadcast(fwd)
 		}
@@ -430,7 +469,7 @@ func (n *node) onExploratory(from topology.NodeID, m msg.Message) {
 	// Forward the flood once, with our accumulated cost.
 	if !e.forwarded {
 		e.forwarded = true
-		n.rt.kernel.Schedule(n.floodDelay(), func() {
+		n.scheduleEpoch(n.floodDelay(), func() {
 			if !n.on() {
 				return
 			}
@@ -527,7 +566,7 @@ func (n *node) scheduleSinkReinforce(st *interestState, e *entryState) {
 	}
 	e.sinkTimer = true
 	delay := n.rt.strategy.SinkReinforceDelay(n.rt.params)
-	n.rt.kernel.Schedule(delay, func() {
+	n.scheduleEpoch(delay, func() {
 		if n.on() {
 			n.reinforceEntry(st, e)
 		}

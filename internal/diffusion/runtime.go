@@ -83,16 +83,34 @@ func (rt *Runtime) traceMsg(op trace.Op, node, peer topology.NodeID, m msg.Messa
 	if rt.tracer == nil {
 		return
 	}
+	// Freshness for received data, read from the duplicate cache before the
+	// data path updates it — the same test onData is about to make.
+	fresh := 0
+	if op == trace.OpReceive && m.Kind == msg.KindData {
+		if st, ok := rt.nodes[node].interests[m.Interest]; ok {
+			for _, it := range m.Items {
+				if _, dup := st.dataCache[it.Key()]; !dup {
+					fresh++
+				}
+			}
+		} else {
+			fresh = len(m.Items)
+		}
+	}
 	rt.tracer.Record(trace.Event{
-		At:    rt.kernel.Now(),
-		Op:    op,
-		Node:  node,
-		Peer:  peer,
-		Kind:  m.Kind,
-		Items: len(m.Items),
-		E:     m.E,
-		C:     m.C,
-		W:     m.W,
+		At:       rt.kernel.Now(),
+		Op:       op,
+		Node:     node,
+		Peer:     peer,
+		Kind:     m.Kind,
+		Interest: m.Interest,
+		ID:       m.ID,
+		Origin:   m.Origin,
+		Items:    len(m.Items),
+		E:        m.E,
+		C:        m.C,
+		W:        m.W,
+		Fresh:    fresh,
 	})
 }
 
@@ -166,6 +184,15 @@ func (rt *Runtime) DataGradients(id topology.NodeID, iid msg.InterestID) []topol
 	}
 	return n.dataGradients(st)
 }
+
+// Amnesia wipes node id's diffusion soft state, modeling a crash-and-reboot
+// that loses RAM. Gradients, exploratory entry caches, duplicate-suppression
+// caches, aggregation buffers, and source activation all vanish, and timers
+// armed before the crash are disarmed, so the node must re-learn the tree
+// from subsequent floods. Identifier counters (item sequence number, a
+// sink's interest round) survive, as a real node keeps them in flash to
+// avoid reuse. The chaos layer calls this at crash time.
+func (rt *Runtime) Amnesia(id topology.NodeID) { rt.nodes[id].amnesia() }
 
 // KnowsInterest reports whether node id has any state for the interest.
 func (rt *Runtime) KnowsInterest(id topology.NodeID, iid msg.InterestID) bool {

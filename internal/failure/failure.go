@@ -58,7 +58,13 @@ type Schedule struct {
 	killed  []topology.NodeID // permanently dead (battery depletion)
 	dead    map[topology.NodeID]bool
 	waves   int
+	onWave  func(down []topology.NodeID)
 }
+
+// SetOnWave registers a callback invoked after each wave redraw with the
+// freshly failed node set. Chaos recovery metrics use it to timestamp fault
+// events; the callback must not mutate the schedule.
+func (s *Schedule) SetOnWave(fn func(down []topology.NodeID)) { s.onWave = fn }
 
 // New creates a schedule over n nodes. Call Start to begin the waves; call
 // Finish when the run ends to close up-time accounting.
@@ -108,7 +114,15 @@ func (s *Schedule) wave() {
 			candidates = append(candidates, topology.NodeID(i))
 		}
 	}
-	k := int(s.cfg.Fraction * float64(s.nodes))
+	// The wave size is Fraction of the *living* population (protected nodes
+	// included — they are alive, just never drawn), truncated toward zero, so
+	// permanent Kill()s shrink later waves instead of over-failing the
+	// survivors. With no kills this equals the historical
+	// int(Fraction*nodes), keeping seeded runs reproducible. The remaining
+	// clamp only guards the degenerate case of fewer unprotected survivors
+	// than the target.
+	living := s.nodes - len(s.dead)
+	k := int(s.cfg.Fraction * float64(living))
 	if k > len(candidates) {
 		k = len(candidates)
 	}
@@ -118,6 +132,9 @@ func (s *Schedule) wave() {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 		s.failNode(candidates[i])
 		s.down = append(s.down, candidates[i])
+	}
+	if s.onWave != nil {
+		s.onWave(s.Down())
 	}
 	s.kernel.Schedule(s.cfg.Wave, s.wave)
 }
@@ -137,6 +154,17 @@ func (s *Schedule) reviveNode(id topology.NodeID) {
 	s.upSince[id] = s.kernel.Now()
 	s.net.SetOn(id, true)
 }
+
+// Fail powers node id off with correct up-time accounting, without
+// scheduling any revival; a no-op if the node is already off. Chaos
+// injectors use it for crash faults they revive themselves.
+func (s *Schedule) Fail(id topology.NodeID) { s.failNode(id) }
+
+// Revive powers node id back on with correct up-time accounting; a no-op if
+// the node is on or permanently dead. Note a wave redraw can legitimately
+// revive a crash-failed node first (both paths are idempotent, so the
+// accounting stays exact either way).
+func (s *Schedule) Revive(id topology.NodeID) { s.reviveNode(id) }
 
 // Kill permanently powers node id off with correct up-time accounting:
 // unlike wave failures, a killed node is never revived. Battery-depletion

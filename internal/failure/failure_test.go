@@ -228,3 +228,113 @@ func TestKillWhileWaveFailed(t *testing.T) {
 		t.Fatal("node killed while wave-failed was revived")
 	}
 }
+
+func TestWaveSizeShrinksAfterKills(t *testing.T) {
+	k, net := testNet(t, 100)
+	s, err := New(k, net, 100, Config{Fraction: 0.2, Wave: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	if len(s.Down()) != 20 {
+		t.Fatalf("first wave %d, want 20", len(s.Down()))
+	}
+	// Halve the living population; the next wave must fail 20% of the
+	// survivors, not 20% of the original field.
+	killed := 0
+	for i := 0; i < 100 && killed < 50; i++ {
+		s.Kill(topology.NodeID(i))
+		killed++
+	}
+	k.Run(15 * time.Second) // second wave at t=10
+	if got := len(s.Down()); got != 10 {
+		t.Fatalf("wave after 50 kills failed %d nodes, want int(0.2*50)=10", got)
+	}
+}
+
+// TestKillMidWaveExactUpTime pins the accounting across a kill/wave
+// interleaving: a node killed mid-wave while still powered on accrues
+// exactly the time until the kill; a node killed while wave-failed accrues
+// exactly the time until the wave took it down.
+func TestKillMidWaveExactUpTime(t *testing.T) {
+	k, net := testNet(t, 10)
+	s, err := New(k, net, 10, Config{Fraction: 0.5, Wave: 4 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start() // wave 1 at t=0: five nodes down
+	var waveVictim, liveVictim topology.NodeID = -1, -1
+	down := map[topology.NodeID]bool{}
+	for _, id := range s.Down() {
+		down[id] = true
+	}
+	for i := 0; i < 10; i++ {
+		id := topology.NodeID(i)
+		if down[id] && waveVictim < 0 {
+			waveVictim = id
+		}
+		if !down[id] && liveVictim < 0 {
+			liveVictim = id
+		}
+	}
+	k.Schedule(3*time.Second, func() {
+		s.Kill(waveVictim) // off since t=0: up-time must stay 0
+		s.Kill(liveVictim) // on until now: up-time must be exactly 3 s
+	})
+	k.Run(20 * time.Second) // several waves churn past the kills
+	s.Finish()
+	if net.On(waveVictim) || net.On(liveVictim) {
+		t.Fatal("killed node revived by a later wave")
+	}
+	if up := net.Meter(waveVictim).UpTime(); up != 0 {
+		t.Fatalf("wave-failed victim up-time %v, want 0", up)
+	}
+	if up := net.Meter(liveVictim).UpTime(); up != 3*time.Second {
+		t.Fatalf("live victim up-time %v, want exactly 3s", up)
+	}
+}
+
+// TestFailReviveAccounting covers the chaos layer's crash path: explicit
+// Fail/Revive cycles with exact up-time bookkeeping, idempotent edges, and
+// no revival of the permanently dead.
+func TestFailReviveAccounting(t *testing.T) {
+	k, net := testNet(t, 4)
+	s, err := New(k, net, 4, Config{Fraction: 0, Wave: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start() // zero fraction: no waves interfere
+	k.Schedule(10*time.Second, func() { s.Fail(3); s.Fail(3) })
+	k.Schedule(25*time.Second, func() { s.Revive(3); s.Revive(3) })
+	k.Schedule(40*time.Second, func() { s.Kill(3) })
+	k.Schedule(50*time.Second, func() { s.Revive(3) }) // dead stays dead
+	k.Run(60 * time.Second)
+	s.Finish()
+	if net.On(3) {
+		t.Fatal("Revive resurrected a killed node")
+	}
+	// Up 0-10 and 25-40: exactly 25 s.
+	if up := net.Meter(3).UpTime(); up != 25*time.Second {
+		t.Fatalf("up-time %v, want exactly 25s", up)
+	}
+}
+
+func TestOnWaveHook(t *testing.T) {
+	k, net := testNet(t, 100)
+	s, err := New(k, net, 100, Config{Fraction: 0.2, Wave: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	s.SetOnWave(func(down []topology.NodeID) { sizes = append(sizes, len(down)) })
+	s.Start()
+	k.Run(25 * time.Second) // waves at 0, 10, 20
+	if len(sizes) != 3 {
+		t.Fatalf("hook fired %d times, want 3", len(sizes))
+	}
+	for i, n := range sizes {
+		if n != 20 {
+			t.Fatalf("wave %d size %d, want 20", i, n)
+		}
+	}
+}

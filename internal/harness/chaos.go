@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// chaosNodes is the field size for the robustness grid: the paper's middle
+// density, where both schemes are competitive and multi-hop trees are real.
+const chaosNodes = 150
+
+// ChaosScenarios is the robustness grid: each entry stresses one fault class
+// from the chaos taxonomy (plus a clean baseline and the §5.3 wave schedule),
+// all with the runtime invariant checker armed.
+var ChaosScenarios = []struct {
+	Name string
+	// Config builds a fresh chaos configuration for one run of the given
+	// duration (time-windowed faults scale with it).
+	Config func(d time.Duration) chaos.Config
+}{
+	{"baseline", func(time.Duration) chaos.Config {
+		return chaos.Config{CheckInvariants: true}
+	}},
+	{"waves", func(time.Duration) chaos.Config {
+		return chaos.DefaultConfig()
+	}},
+	{"loss10", func(time.Duration) chaos.Config {
+		return chaos.Config{Loss: chaos.LossConfig{Drop: 0.10}, CheckInvariants: true}
+	}},
+	{"burst", func(time.Duration) chaos.Config {
+		bc := chaos.DefaultBurstConfig()
+		return chaos.Config{
+			Loss:            chaos.LossConfig{Burst: &bc},
+			CheckInvariants: true,
+		}
+	}},
+	{"asym", func(time.Duration) chaos.Config {
+		return chaos.Config{
+			Loss:            chaos.LossConfig{AsymmetryFraction: 0.3, AsymmetryDrop: 0.5},
+			CheckInvariants: true,
+		}
+	}},
+	{"amnesia", func(time.Duration) chaos.Config {
+		return chaos.Config{
+			Amnesia:         chaos.AmnesiaConfig{MeanInterval: 10 * time.Second, Downtime: 2 * time.Second},
+			CheckInvariants: true,
+		}
+	}},
+	{"partition", func(d time.Duration) chaos.Config {
+		return chaos.Config{
+			// A diagonal cut across the 200 m field for the middle third of
+			// the run, separating the corner workload from the far corner.
+			Partitions: []chaos.Partition{{
+				Start: d / 3, End: 2 * d / 3,
+				A: geom.Point{X: -10, Y: 210}, B: geom.Point{X: 210, Y: -10},
+			}},
+			CheckInvariants: true,
+		}
+	}},
+	{"combined", func(time.Duration) chaos.Config {
+		fc := failure.DefaultConfig()
+		return chaos.Config{
+			Waves:           &fc,
+			Loss:            chaos.LossConfig{Drop: 0.05, AsymmetryFraction: 0.2, AsymmetryDrop: 0.3},
+			Amnesia:         chaos.AmnesiaConfig{MeanInterval: 15 * time.Second, Downtime: 2 * time.Second},
+			CheckInvariants: true,
+		}
+	}},
+}
+
+// ChaosRow aggregates one (scenario, scheme) grid point over the sampled
+// fields.
+type ChaosRow struct {
+	Scenario string
+	Scheme   string
+	// Paper panels under fault load.
+	Ratio  stats.Sample
+	Delay  stats.Sample
+	Energy stats.Sample
+	// Recovery panels: seconds to first post-fault delivery (repaired faults
+	// only), delivery-rate dip depth in the post-fault window, and the
+	// fraction of one-second buckets with at least one delivery.
+	TTR          stats.Sample
+	Dip          stats.Sample
+	Availability stats.Sample
+	// Totals over all fields.
+	Faults     int
+	Crashes    int
+	Violations int
+	LinkLoss   int
+}
+
+// ChaosTable is the regenerated robustness grid ("figchaos").
+type ChaosTable struct {
+	Fields int
+	Rows   []ChaosRow
+}
+
+// Chaos runs the robustness grid: every scenario × both schemes at the
+// middle density, averaged over the sampled fields with the same paired
+// seeds as the paper figures. The acceptance bar for the grid is a clean
+// invariant report on every run.
+func Chaos(o Options) (*ChaosTable, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	t := &ChaosTable{Fields: o.Fields}
+	for _, sc := range ChaosScenarios {
+		for _, s := range bothSchemes {
+			t.Rows = append(t.Rows, ChaosRow{Scenario: sc.Name, Scheme: s.String()})
+		}
+	}
+
+	type job struct {
+		row   int
+		field int
+		cfg   core.Config
+	}
+	var jobs []job
+	for ri := range t.Rows {
+		sc := ChaosScenarios[ri/len(bothSchemes)]
+		scheme := bothSchemes[ri%len(bothSchemes)]
+		for f := 0; f < o.Fields; f++ {
+			cfg := baseConfig(o, scheme, chaosNodes, f)
+			cc := sc.Config(o.Duration)
+			cfg.Chaos = &cc
+			jobs = append(jobs, job{row: ri, field: f, cfg: cfg})
+		}
+	}
+
+	type result struct {
+		job job
+		out core.Output
+		err error
+	}
+	results := make([]result, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.workers())
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := core.Run(jobs[i].cfg)
+			results[i] = result{job: jobs[i], out: out, err: err}
+			if o.Progress != nil && err == nil {
+				r := &t.Rows[jobs[i].row]
+				o.Progress(fmt.Sprintf("figchaos %s/%s field=%d done",
+					r.Scenario, r.Scheme, jobs[i].field))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		row := &t.Rows[r.job.row]
+		if r.err != nil {
+			return nil, fmt.Errorf("harness: figchaos %s/%s field %d: %w",
+				row.Scenario, row.Scheme, r.job.field, r.err)
+		}
+		m := r.out.Metrics
+		row.Ratio = append(row.Ratio, m.DeliveryRatio)
+		row.Delay = append(row.Delay, m.AvgDelay)
+		row.Energy = append(row.Energy, m.AvgDissipatedEnergy)
+		rep := r.out.Chaos
+		if rep == nil {
+			return nil, fmt.Errorf("harness: figchaos %s/%s field %d: no chaos report",
+				row.Scenario, row.Scheme, r.job.field)
+		}
+		row.Violations += rep.ViolationCount
+		row.Crashes += rep.Crashes
+		row.LinkLoss += rep.LinkLoss
+		if rec := rep.Recovery; rec != nil {
+			row.Faults += rec.Faults
+			row.Availability = append(row.Availability, rec.Availability)
+			if rec.Repaired > 0 {
+				row.TTR = append(row.TTR, rec.MeanTimeToRepair.Seconds())
+			}
+			if rec.Faults > 0 {
+				row.Dip = append(row.Dip, rec.MeanDipDepth)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Render writes the grid as an aligned text table, one row per
+// (scenario, scheme).
+func (t *ChaosTable) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== figchaos: robustness grid (%d nodes, %d fields) ==\n",
+		chaosNodes, t.Fields); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%10s %14s %7s %8s %10s %7s %6s %6s %7s %7s %6s %6s",
+		"scenario", "scheme", "ratio", "delay_s", "energy", "ttr_s", "dip", "avail",
+		"faults", "crashes", "viol", "loss")
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	mean := func(s stats.Sample, width int) string {
+		if len(s) == 0 {
+			return fmt.Sprintf("%*s", width, "--")
+		}
+		return fmt.Sprintf("%*.2f", width, s.Mean())
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%10s %14s %7.3f %8.3f %10.3g %s %s %s %7d %7d %6d %6d\n",
+			r.Scenario, r.Scheme,
+			r.Ratio.Mean(), r.Delay.Mean(), r.Energy.Mean(),
+			mean(r.TTR, 7), mean(r.Dip, 6), mean(r.Availability, 6),
+			r.Faults, r.Crashes, r.Violations, r.LinkLoss)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the grid in long form, one row per (scenario, scheme).
+func (t *ChaosTable) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,scenario,scheme,ratio_mean,ratio_ci,delay_mean,delay_ci,energy_mean,energy_ci,ttr_mean_s,ttr_ci,dip_mean,avail_mean,faults,crashes,violations,link_loss,fields"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "figchaos,%s,%s,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%d\n",
+			r.Scenario, r.Scheme,
+			r.Ratio.Mean(), r.Ratio.CI95(),
+			r.Delay.Mean(), r.Delay.CI95(),
+			r.Energy.Mean(), r.Energy.CI95(),
+			r.TTR.Mean(), r.TTR.CI95(),
+			r.Dip.Mean(), r.Availability.Mean(),
+			r.Faults, r.Crashes, r.Violations, r.LinkLoss, t.Fields); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalViolations sums invariant breaches over the whole grid — the
+// experiment's acceptance criterion is zero.
+func (t *ChaosTable) TotalViolations() int {
+	n := 0
+	for _, r := range t.Rows {
+		n += r.Violations
+	}
+	return n
+}

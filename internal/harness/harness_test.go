@@ -208,6 +208,58 @@ func TestPairedSavings(t *testing.T) {
 	}
 }
 
+func TestChaosGrid(t *testing.T) {
+	o := Options{Fields: 1, Duration: 30 * time.Second, Nodes: []int{chaosNodes}}
+	tbl, err := Chaos(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2*len(ChaosScenarios) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), 2*len(ChaosScenarios))
+	}
+	for _, r := range tbl.Rows {
+		if len(r.Ratio) != 1 {
+			t.Fatalf("%s/%s has %d samples", r.Scenario, r.Scheme, len(r.Ratio))
+		}
+		if r.Ratio.Mean() <= 0 {
+			t.Fatalf("%s/%s delivered nothing", r.Scenario, r.Scheme)
+		}
+		switch r.Scenario {
+		case "waves", "amnesia", "partition", "combined":
+			if r.Faults == 0 {
+				t.Errorf("%s/%s recorded no fault events", r.Scenario, r.Scheme)
+			}
+		case "baseline":
+			if r.Faults != 0 || r.LinkLoss != 0 {
+				t.Errorf("baseline/%s injected faults: %+v", r.Scheme, r)
+			}
+		}
+	}
+	if v := tbl.TotalViolations(); v != 0 {
+		for _, r := range tbl.Rows {
+			if r.Violations > 0 {
+				t.Logf("%s/%s: %d violations", r.Scenario, r.Scheme, r.Violations)
+			}
+		}
+		t.Errorf("grid acceptance: %d invariant violations", v)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "figchaos") {
+		t.Fatal("render missing title")
+	}
+	var csv bytes.Buffer
+	if err := tbl.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(tbl.Rows) {
+		t.Fatalf("CSV has %d lines, want header + %d rows", len(lines), len(tbl.Rows))
+	}
+}
+
 func TestLifetimeStudy(t *testing.T) {
 	o := Options{Fields: 1, Duration: 40 * time.Second, Nodes: []int{100}}
 	tbl, err := LifetimeStudy(o)

@@ -131,7 +131,18 @@ type Stats struct {
 	QueueMax    int // high-water mark across all nodes' queues
 	BytesOnAir  int64
 	AcksMissing int // unicast attempts that timed out waiting for an ACK
+	LinkLoss    int // receptions suppressed by an installed LinkFilter
 }
+
+// LinkFilter decides whether a frame transmitted by from is successfully
+// received at to. It is consulted exactly once per (transmission, in-range
+// receiver) pair, at the start of the frame's airtime, so the decision is
+// consistent between payload delivery and the sender's ACK bookkeeping.
+// Returning false models the reception being lost to channel impairments
+// (fading, bursts, a partition); the receiver's radio is still captured and
+// charged for the airtime. Chaos injection installs these; nil means an
+// ideal unit-disk channel.
+type LinkFilter func(from, to topology.NodeID) bool
 
 // Network simulates the shared medium for all nodes of a field.
 type Network struct {
@@ -143,6 +154,7 @@ type Network struct {
 	energy []*energy.Meter
 	nodes  []*nodeState
 	stats  Stats
+	filter LinkFilter
 }
 
 type nodeState struct {
@@ -179,6 +191,12 @@ type transmission struct {
 	kind      txKind
 	nav       time.Duration // medium reservation advertised by RTS/CTS
 	corrupted map[topology.NodeID]bool
+	lost      map[topology.NodeID]bool // receptions vetoed by the link filter
+}
+
+// lostAt reports whether the link filter vetoed this frame's reception at id.
+func (tx *transmission) lostAt(id topology.NodeID) bool {
+	return tx.lost != nil && tx.lost[id]
 }
 
 // New creates a network over field with all nodes on. Receivers start nil;
@@ -209,6 +227,11 @@ func New(kernel *sim.Kernel, field *topology.Field, model energy.Model, params P
 
 // SetReceiver registers the delivery callback for node id.
 func (n *Network) SetReceiver(id topology.NodeID, r Receiver) { n.nodes[id].recv = r }
+
+// SetLinkFilter installs a per-reception link filter (nil removes it). The
+// filter must be deterministic given the kernel's RNG for runs to stay
+// reproducible.
+func (n *Network) SetLinkFilter(f LinkFilter) { n.filter = f }
 
 // Meter returns node id's energy meter.
 func (n *Network) Meter(id topology.NodeID) *energy.Meter { return n.energy[id] }
@@ -389,7 +412,7 @@ func (n *Network) sendRTS(ns *nodeState, of *outFrame) {
 			return
 		}
 		dest := n.nodes[of.to]
-		if dest.on && n.field.InRange(ns.id, of.to) && !rts.corrupted[of.to] {
+		if dest.on && n.field.InRange(ns.id, of.to) && !rts.corrupted[of.to] && !rts.lostAt(of.to) {
 			n.kernel.Schedule(n.params.SIFS, func() { n.sendCTS(dest, ns, of) })
 			return
 		}
@@ -421,7 +444,7 @@ func (n *Network) sendCTS(dest, src *nodeState, of *outFrame) {
 		if !src.on {
 			return
 		}
-		if dest.on && n.field.InRange(dest.id, src.id) && !cts.corrupted[src.id] {
+		if dest.on && n.field.InRange(dest.id, src.id) && !cts.corrupted[src.id] && !cts.lostAt(src.id) {
 			n.kernel.Schedule(n.params.SIFS, func() {
 				if src.on && len(src.queue) > 0 && src.queue[0] == of {
 					n.transmitData(src, of)
@@ -452,6 +475,13 @@ func (n *Network) begin(ns *nodeState, tx *transmission, airtime time.Duration, 
 		}
 		// The receiver's radio is captured for the airtime either way.
 		n.energy[nb].Receive(tx.frame.Bytes)
+		if n.filter != nil && !n.filter(ns.id, nb) {
+			if tx.lost == nil {
+				tx.lost = make(map[topology.NodeID]bool)
+			}
+			tx.lost[nb] = true
+			n.stats.LinkLoss++
+		}
 		if rs.txActive {
 			tx.corrupted[nb] = true
 			n.stats.Collisions++
@@ -496,7 +526,7 @@ func (n *Network) end(tx *transmission) {
 			continue // receiver was off when tx started, or turned off since
 		}
 		rs.audible = append(rs.audible[:idx], rs.audible[idx+1:]...)
-		if !rs.on || senderDied || tx.corrupted[nb] {
+		if !rs.on || senderDied || tx.corrupted[nb] || tx.lostAt(nb) {
 			continue
 		}
 		if tx.kind == txRTS || tx.kind == txCTS {
@@ -534,7 +564,7 @@ func (n *Network) finishData(ns *nodeState, of *outFrame, tx *transmission) {
 	}
 	// Unicast: did the destination get it?
 	dest := n.nodes[of.to]
-	gotIt := dest.on && n.field.InRange(ns.id, of.to) && !tx.corrupted[of.to]
+	gotIt := dest.on && n.field.InRange(ns.id, of.to) && !tx.corrupted[of.to] && !tx.lostAt(of.to)
 	if gotIt {
 		// Destination sends an ACK after SIFS, bypassing contention.
 		n.kernel.Schedule(n.params.SIFS, func() { n.sendAck(dest, ns, of) })
@@ -566,7 +596,7 @@ func (n *Network) sendAck(dest, src *nodeState, of *outFrame) {
 		if !src.on {
 			return
 		}
-		if dest.on && n.field.InRange(dest.id, src.id) && !ackTx.corrupted[src.id] {
+		if dest.on && n.field.InRange(dest.id, src.id) && !ackTx.corrupted[src.id] && !ackTx.lostAt(src.id) {
 			// ACK received: success.
 			src.cw = n.params.CWMin
 			n.dequeueAndContinue(src)

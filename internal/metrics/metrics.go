@@ -135,6 +135,10 @@ type Result struct {
 	// aggregation tree works its trunk nodes harder, which bounds network
 	// lifetime by the hottest node.
 	Concentration Concentration
+
+	// Recovery summarizes fault recovery when the run injected faults
+	// through the chaos layer; nil otherwise.
+	Recovery *Recovery
 }
 
 // Concentration summarizes the per-node communication-energy distribution.

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Recovery summarizes how the protocol behaves around injected fault events
+// — the observability half of the chaos layer: §5.3 claims the protocol
+// keeps repairing its tree under faults, and these numbers make the repair
+// measurable instead of assumed.
+type Recovery struct {
+	// Faults is the number of fault events inside the measurement window
+	// (one per failure wave, crash, or partition onset).
+	Faults int
+	// Repaired is how many of those saw a later sink delivery before the
+	// window closed; the repair times below cover only these.
+	Repaired int
+	// MeanTimeToRepair and MaxTimeToRepair measure the gap between a fault
+	// event and the first subsequent sink delivery.
+	MeanTimeToRepair time.Duration
+	MaxTimeToRepair  time.Duration
+	// MeanDipDepth is the mean fractional drop of the delivery rate in the
+	// observation window after each fault, relative to the whole-window
+	// steady rate (0 = no dip, 1 = complete silence).
+	MeanDipDepth float64
+	// Availability is the fraction of one-second buckets in the measurement
+	// window with at least one sink delivery.
+	Availability float64
+}
+
+// RecoveryTracker accumulates fault and delivery timestamps during a run and
+// reduces them to a Recovery at the end. Both feeds are append-only and in
+// virtual-time order, so the tracker costs two slice appends per event.
+type RecoveryTracker struct {
+	window     time.Duration
+	deliveries []time.Duration
+	faults     []time.Duration
+}
+
+// DefaultRecoveryWindow is the post-fault observation window for the
+// delivery-dip measurement.
+const DefaultRecoveryWindow = 10 * time.Second
+
+// NewRecoveryTracker returns a tracker using the given post-fault
+// observation window (0 selects DefaultRecoveryWindow).
+func NewRecoveryTracker(window time.Duration) *RecoveryTracker {
+	if window <= 0 {
+		window = DefaultRecoveryWindow
+	}
+	return &RecoveryTracker{window: window}
+}
+
+// Delivery records a sink delivery at virtual time at.
+func (t *RecoveryTracker) Delivery(at time.Duration) {
+	t.deliveries = append(t.deliveries, at)
+}
+
+// Fault records a fault event at virtual time at.
+func (t *RecoveryTracker) Fault(at time.Duration) {
+	t.faults = append(t.faults, at)
+}
+
+// Finalize reduces the recorded timestamps over the measurement window
+// [from, to). Call once at the end of the run.
+func (t *RecoveryTracker) Finalize(from, to time.Duration) *Recovery {
+	r := &Recovery{}
+	if to <= from {
+		return r
+	}
+	span := to - from
+
+	var inWindow []time.Duration
+	for _, d := range t.deliveries {
+		if d >= from && d < to {
+			inWindow = append(inWindow, d)
+		}
+	}
+	steadyRate := float64(len(inWindow)) / span.Seconds()
+
+	buckets := int(span / time.Second)
+	if span%time.Second != 0 {
+		buckets++
+	}
+	if buckets > 0 {
+		seen := make([]bool, buckets)
+		for _, d := range inWindow {
+			seen[int((d-from)/time.Second)] = true
+		}
+		up := 0
+		for _, s := range seen {
+			if s {
+				up++
+			}
+		}
+		r.Availability = float64(up) / float64(buckets)
+	}
+
+	var ttrSum time.Duration
+	var dipSum float64
+	dips := 0
+	for _, f := range t.faults {
+		if f < from || f >= to {
+			continue
+		}
+		r.Faults++
+		// Time to repair: gap to the first delivery strictly after the fault.
+		i := sort.Search(len(inWindow), func(i int) bool { return inWindow[i] > f })
+		if i < len(inWindow) {
+			ttr := inWindow[i] - f
+			r.Repaired++
+			ttrSum += ttr
+			if ttr > r.MaxTimeToRepair {
+				r.MaxTimeToRepair = ttr
+			}
+		}
+		// Dip depth: delivery rate over [f, f+window)∩[from,to) vs steady.
+		if steadyRate > 0 {
+			end := f + t.window
+			if end > to {
+				end = to
+			}
+			if end > f {
+				j := sort.Search(len(inWindow), func(j int) bool { return inWindow[j] >= end })
+				rate := float64(j-i) / (end - f).Seconds()
+				depth := 1 - rate/steadyRate
+				if depth < 0 {
+					depth = 0
+				}
+				dipSum += depth
+				dips++
+			}
+		}
+	}
+	if r.Repaired > 0 {
+		r.MeanTimeToRepair = ttrSum / time.Duration(r.Repaired)
+	}
+	if dips > 0 {
+		r.MeanDipDepth = dipSum / float64(dips)
+	}
+	return r
+}

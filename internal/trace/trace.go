@@ -43,15 +43,28 @@ type Event struct {
 	Node topology.NodeID
 	Peer topology.NodeID // destination for sends (-1 broadcast), sender for receives
 	Kind msg.Kind
+	// Interest identifies the task the message belongs to; ID is the
+	// exploratory message id it references (zero for interests and data);
+	// Origin is the node that originated the message. Together they let
+	// consumers (e.g. the chaos invariant checker) follow one entry's
+	// control flow across nodes.
+	Interest msg.InterestID
+	ID       msg.MsgID
+	Origin   topology.NodeID
 	// Items is the data payload size in events, E/C/W the cost attributes.
 	Items   int
 	E, C, W int
+	// Fresh is the number of items not yet in the receiver's duplicate
+	// cache; filled only for received data messages. A received aggregate
+	// with Items > 0 and Fresh == 0 is pure duplicate traffic — the kind
+	// the truncation rule exists to shut off.
+	Fresh int
 }
 
 // String renders the event as one log line.
 func (e Event) String() string {
-	return fmt.Sprintf("%12v %s node=%d peer=%d %s items=%d E=%d C=%d W=%d",
-		e.At, e.Op, e.Node, e.Peer, e.Kind, e.Items, e.E, e.C, e.W)
+	return fmt.Sprintf("%12v %s node=%d peer=%d %s int=%d origin=%d items=%d E=%d C=%d W=%d",
+		e.At, e.Op, e.Node, e.Peer, e.Kind, e.Interest, e.Origin, e.Items, e.E, e.C, e.W)
 }
 
 // Filter reports whether an event should be recorded.
