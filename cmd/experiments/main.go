@@ -106,9 +106,14 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
-		fmt.Fprintf(out, "(fig %s regenerated in %v)\n\n", f.name, time.Since(t0).Round(time.Second))
+		fmt.Fprintf(out, "(fig %s regenerated in %v, %d kernel events, %.0f events/s)\n\n",
+			f.name, time.Since(t0).Round(time.Second), tbl.Meta.Events, tbl.Meta.EventsPerSec())
 		if csvDir != "" {
 			if err := writeCSV(csvDir, "fig"+f.name+".csv", tbl.CSV); err != nil {
+				return err
+			}
+			if err := tbl.Manifest().Write(
+				filepath.Join(csvDir, "fig"+f.name+".manifest.json")); err != nil {
 				return err
 			}
 		}
@@ -149,9 +154,14 @@ func run(args []string, out io.Writer) error {
 		if v := tbl.TotalViolations(); v != 0 {
 			fmt.Fprintf(out, "WARNING: %d protocol-invariant violations across the grid\n", v)
 		}
-		fmt.Fprintf(out, "(chaos grid regenerated in %v)\n\n", time.Since(t0).Round(time.Second))
+		fmt.Fprintf(out, "(chaos grid regenerated in %v, %d kernel events, %.0f events/s)\n\n",
+			time.Since(t0).Round(time.Second), tbl.Meta.Events, tbl.Meta.EventsPerSec())
 		if csvDir != "" {
 			if err := writeCSV(csvDir, "figchaos.csv", tbl.CSV); err != nil {
+				return err
+			}
+			if err := tbl.Manifest().Write(
+				filepath.Join(csvDir, "figchaos.manifest.json")); err != nil {
 				return err
 			}
 		}

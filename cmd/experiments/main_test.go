@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestExperimentsSingleFigure(t *testing.T) {
@@ -46,6 +48,18 @@ func TestExperimentsCSVOutput(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
 	if len(lines) < 3 || !strings.HasPrefix(lines[0], "figure,scheme") {
 		t.Fatalf("csv malformed:\n%s", data)
+	}
+
+	// Every CSV gets a provenance manifest beside it.
+	man, err := obs.ReadManifest(filepath.Join(dir, "fig5.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Figure != "fig5" || man.Runs == 0 || man.KernelEvents == 0 {
+		t.Fatalf("manifest unfilled: %+v", man)
+	}
+	if man.TelemetryDigest == "" || len(man.Metrics) == 0 {
+		t.Fatalf("manifest missing telemetry: %+v", man)
 	}
 }
 

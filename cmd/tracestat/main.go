@@ -1,0 +1,241 @@
+// Command tracestat summarizes an NDJSON protocol trace written by
+// wsnsim -trace-out: traffic totals by operation and message kind, loss
+// broken down by reason, the busiest nodes, and the aggregation-tree edge
+// set reconstructed from the reinforcement stream.
+//
+// Examples:
+//
+//	wsnsim -scheme greedy -loss 0.1 -trace-out run.ndjson
+//	tracestat run.ndjson
+//	tracestat -top 20 -edges run.ndjson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+// kindRow accumulates per-message-kind traffic.
+type kindRow struct {
+	sends, recvs, drops int
+}
+
+// edge is one directed aggregation-tree link: data flows from -> to.
+type edge struct {
+	from, to topology.NodeID
+}
+
+// stats is everything one pass over the trace accumulates.
+type stats struct {
+	events, snapshots   int
+	sends, recvs, drops int
+	kinds               map[msg.Kind]*kindRow
+	dropReasons         map[trace.DropReason]int
+	nodeTraffic         map[topology.NodeID]int
+	// trees maps interest -> live edge set. A received reinforcement at
+	// node n from downstream neighbor p creates the data link n -> p; a
+	// received negative reinforcement tears it down again, so the final
+	// set is the tree standing when the trace ended.
+	trees map[msg.InterestID]map[edge]bool
+	// firstAt/lastAt bound the trace's virtual-time span.
+	firstAt, lastAt int64
+}
+
+func newStats() *stats {
+	return &stats{
+		kinds:       make(map[msg.Kind]*kindRow),
+		dropReasons: make(map[trace.DropReason]int),
+		nodeTraffic: make(map[topology.NodeID]int),
+		trees:       make(map[msg.InterestID]map[edge]bool),
+	}
+}
+
+func (s *stats) kind(k msg.Kind) *kindRow {
+	r := s.kinds[k]
+	if r == nil {
+		r = &kindRow{}
+		s.kinds[k] = r
+	}
+	return r
+}
+
+func (s *stats) addEvent(e trace.Event) {
+	s.events++
+	if s.events == 1 || int64(e.At) < s.firstAt {
+		s.firstAt = int64(e.At)
+	}
+	if int64(e.At) > s.lastAt {
+		s.lastAt = int64(e.At)
+	}
+	s.nodeTraffic[e.Node]++
+	switch e.Op {
+	case trace.OpSend:
+		s.sends++
+		s.kind(e.Kind).sends++
+	case trace.OpReceive:
+		s.recvs++
+		s.kind(e.Kind).recvs++
+		switch e.Kind {
+		case msg.KindReinforce:
+			t := s.trees[e.Interest]
+			if t == nil {
+				t = make(map[edge]bool)
+				s.trees[e.Interest] = t
+			}
+			t[edge{from: e.Node, to: e.Peer}] = true
+		case msg.KindNegReinforce:
+			delete(s.trees[e.Interest], edge{from: e.Node, to: e.Peer})
+		}
+	case trace.OpDrop:
+		s.drops++
+		s.kind(e.Kind).drops++
+		s.dropReasons[e.Reason]++
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	var (
+		top   = fs.Int("top", 10, "how many of the busiest nodes to list")
+		edges = fs.Bool("edges", false, "print the reconstructed tree edge lists")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: tracestat [-top N] [-edges] trace.ndjson...")
+	}
+
+	for _, path := range fs.Args() {
+		s, err := scan(path)
+		if err != nil {
+			return err
+		}
+		if err := report(out, path, s, *top, *edges); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func scan(path string) (*stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s := newStats()
+	d := trace.NewDecoder(f)
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if rec.IsSnapshot {
+			s.snapshots++
+			continue
+		}
+		s.addEvent(rec.Event)
+	}
+}
+
+func report(w io.Writer, path string, s *stats, top int, edges bool) error {
+	span := float64(s.lastAt-s.firstAt) / 1e9
+	fmt.Fprintf(w, "== %s ==\n", path)
+	fmt.Fprintf(w, "%d events over %.1f virtual seconds, %d snapshots\n",
+		s.events, span, s.snapshots)
+	fmt.Fprintf(w, "sends %d, receives %d, drops %d\n\n", s.sends, s.recvs, s.drops)
+
+	fmt.Fprintf(w, "%-14s %10s %10s %10s\n", "kind", "sends", "recvs", "drops")
+	kinds := make([]msg.Kind, 0, len(s.kinds))
+	for k := range s.kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		r := s.kinds[k]
+		fmt.Fprintf(w, "%-14s %10d %10d %10d\n", k, r.sends, r.recvs, r.drops)
+	}
+
+	if len(s.dropReasons) > 0 {
+		fmt.Fprintf(w, "\ndrops by reason:\n")
+		reasons := make([]trace.DropReason, 0, len(s.dropReasons))
+		for r := range s.dropReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Slice(reasons, func(i, j int) bool { return reasons[i] < reasons[j] })
+		for _, r := range reasons {
+			fmt.Fprintf(w, "  %-14s %10d\n", r, s.dropReasons[r])
+		}
+	}
+
+	if top > 0 && len(s.nodeTraffic) > 0 {
+		type nt struct {
+			node topology.NodeID
+			n    int
+		}
+		busy := make([]nt, 0, len(s.nodeTraffic))
+		for id, n := range s.nodeTraffic {
+			busy = append(busy, nt{id, n})
+		}
+		sort.Slice(busy, func(i, j int) bool {
+			if busy[i].n != busy[j].n {
+				return busy[i].n > busy[j].n
+			}
+			return busy[i].node < busy[j].node
+		})
+		if top > len(busy) {
+			top = len(busy)
+		}
+		fmt.Fprintf(w, "\nbusiest %d of %d nodes (events touching the node):\n", top, len(busy))
+		for _, b := range busy[:top] {
+			fmt.Fprintf(w, "  node %-5d %10d\n", b.node, b.n)
+		}
+	}
+
+	iids := make([]msg.InterestID, 0, len(s.trees))
+	for iid := range s.trees {
+		iids = append(iids, iid)
+	}
+	sort.Slice(iids, func(i, j int) bool { return iids[i] < iids[j] })
+	for _, iid := range iids {
+		t := s.trees[iid]
+		fmt.Fprintf(w, "\ninterest %d: %d aggregation-tree edges standing at trace end\n",
+			iid, len(t))
+		if !edges {
+			continue
+		}
+		list := make([]edge, 0, len(t))
+		for e := range t {
+			list = append(list, e)
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].from != list[j].from {
+				return list[i].from < list[j].from
+			}
+			return list[i].to < list[j].to
+		})
+		for _, e := range list {
+			fmt.Fprintf(w, "  %d -> %d\n", e.from, e.to)
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

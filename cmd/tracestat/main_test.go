@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// genTrace runs a 150-node chaos simulation with full tracing and returns
+// the NDJSON path plus the run's telemetry snapshot.
+func genTrace(t *testing.T) (string, []obs.Metric) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	nd, err := trace.NewNDJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = 5
+	cfg.Nodes = 150
+	cfg.Duration = 60 * time.Second
+	cfg.Chaos = &chaos.Config{Loss: chaos.LossConfig{Drop: 0.10}, CheckInvariants: true}
+	cfg.Tracer = nd
+	cfg.Telemetry = &obs.Config{SnapshotEvery: 20 * time.Second}
+
+	out, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, out.Telemetry
+}
+
+// TestChaosRunRoundTrip is the subsystem's acceptance path: a 150-node run
+// under injected loss produces a trace tracestat can read back, reporting
+// nonzero drops, and telemetry with nonzero set-cover and truncation
+// counters.
+func TestChaosRunRoundTrip(t *testing.T) {
+	path, telemetry := genTrace(t)
+
+	for _, name := range []string{"diffusion_setcover_calls", "diffusion_truncation_prunes"} {
+		if v := obs.Value(telemetry, name); v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-top", "5", "-edges", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"events over", "snapshots", "drops by reason", "chaos-loss",
+		"busiest 5", "aggregation-tree edges", " -> ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Nonzero drop total: "sends N, receives N, drops N" with N > 0.
+	m := regexp.MustCompile(`drops (\d+)`).FindStringSubmatch(out)
+	if m == nil || m[1] == "0" {
+		t.Fatalf("no drops reported under 10%% loss:\n%s", out)
+	}
+	// The tree survives reconstruction: at least one interest with edges.
+	em := regexp.MustCompile(`interest 0: (\d+) aggregation-tree edges`).FindStringSubmatch(out)
+	if em == nil || em[1] == "0" {
+		t.Fatalf("no tree edges reconstructed:\n%s", out)
+	}
+}
+
+func TestTracestatUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no input file accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.ndjson")}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

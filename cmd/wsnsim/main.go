@@ -9,6 +9,8 @@
 //	wsnsim -scheme greedy -nodes 80 -trace reinforce,negreinforce
 //	wsnsim -scheme greedy -loss 0.1 -amnesia 10s -invariants
 //	wsnsim -scheme opportunistic -partition 60s:100s -invariants
+//	wsnsim -scheme greedy -telemetry
+//	wsnsim -scheme greedy -loss 0.1 -trace-out run.ndjson -snapshot-every 20s
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,6 +28,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/geom"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -64,6 +68,11 @@ func run(args []string, out *os.File) error {
 		amnesiaDown = fs.Duration("amnesia-down", 2*time.Second, "downtime after each amnesia crash")
 		partition   = fs.String("partition", "", `diagonal field partition window, e.g. "60s:100s"`)
 		invariants  = fs.Bool("invariants", false, "arm the runtime protocol-invariant checker")
+
+		telemetry = fs.Bool("telemetry", false, "collect and print the metrics registry (protocol, MAC, kernel)")
+		traceOut  = fs.String("trace-out", "", "write the full protocol trace as NDJSON to this file (see cmd/tracestat)")
+		snapEvery = fs.Duration("snapshot-every", 0, "dump per-node protocol state into the NDJSON trace at this virtual-time interval (requires -trace-out)")
+		pprofOut  = fs.String("pprof", "", "write a CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,6 +142,7 @@ func run(args []string, out *os.File) error {
 	}
 	cfg.BatteryJ = *battery
 
+	var tracers []trace.Sink
 	var rec *trace.Recorder
 	if *traceArg != "" {
 		kinds, err := parseKinds(*traceArg)
@@ -141,7 +151,42 @@ func run(args []string, out *os.File) error {
 		}
 		rec = trace.NewRecorder(1 << 16)
 		rec.SetFilter(trace.KindFilter(kinds...))
-		cfg.Tracer = rec
+		tracers = append(tracers, rec)
+	}
+	var nd *trace.FileNDJSON
+	if *traceOut != "" {
+		nd, err = trace.NewNDJSONFile(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer nd.Close()
+		tracers = append(tracers, nd)
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		cfg.Tracer = tracers[0]
+	default:
+		cfg.Tracer = trace.MultiSink(tracers...)
+	}
+
+	if *snapEvery > 0 && nd == nil {
+		return fmt.Errorf("-snapshot-every needs -trace-out for the snapshots to land somewhere")
+	}
+	if *telemetry || *snapEvery > 0 {
+		cfg.Telemetry = &obs.Config{SnapshotEvery: *snapEvery}
+	}
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	res, err := core.Run(cfg)
@@ -176,11 +221,14 @@ func run(args []string, out *os.File) error {
 			}
 		}
 		st := res.MAC
-		fmt.Fprintf(out, "\nMAC: %d frames (%d ACKs), %d delivered, %d collisions, %d retries, %d bytes on air\n",
-			st.DataTx, st.AckTx, st.Delivered, st.Collisions, st.Retries, st.BytesOnAir)
+		fmt.Fprintf(out, "\nMAC: %d frames (%d ACKs), %d delivered, %d collisions, %d retries, %d backoffs, %d bytes on air\n",
+			st.DataTx, st.AckTx, st.Delivered, st.Collisions, st.Retries, st.Backoffs, st.BytesOnAir)
 		for reason, n := range st.Drops {
-			fmt.Fprintf(out, "  drops[%d] = %d\n", int(reason), n)
+			fmt.Fprintf(out, "  drops[%s] = %d\n", reason, n)
 		}
+		k := res.Kernel
+		fmt.Fprintf(out, "kernel: %d events in %v (%.0f events/s), queue high water %d\n",
+			k.Events, k.WallTime.Round(time.Millisecond), k.EventsPerSec(), k.QueueHighWater)
 	}
 
 	if rep := res.Chaos; rep != nil {
@@ -206,13 +254,46 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
+	if *telemetry {
+		printTelemetry(out, res.Telemetry)
+	}
+
 	if rec != nil {
 		fmt.Fprintf(out, "\ntrace (%d events, newest %d retained):\n", rec.Total(), len(rec.Events()))
 		for _, e := range rec.Events() {
 			fmt.Fprintln(out, e)
 		}
 	}
+	if nd != nil {
+		if err := nd.Close(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Fprintf(out, "\ntrace written to %s (inspect with tracestat)\n", *traceOut)
+	}
 	return nil
+}
+
+// printTelemetry dumps the registry snapshot, one aligned line per metric.
+func printTelemetry(w io.Writer, metrics []obs.Metric) {
+	fmt.Fprintf(w, "\ntelemetry (%d metrics):\n", len(metrics))
+	for _, m := range metrics {
+		name := m.Name
+		if m.Labels != "" {
+			name += "{" + m.Labels + "}"
+		}
+		switch m.Kind {
+		case obs.KindGauge:
+			fmt.Fprintf(w, "  %-55s %14.4g (max %.4g)\n", name, m.Value, m.Max)
+		case obs.KindHistogram:
+			mean := 0.0
+			if m.Count > 0 {
+				mean = m.Sum / float64(m.Count)
+			}
+			fmt.Fprintf(w, "  %-55s n=%-10d mean=%.2f\n", name, m.Count, mean)
+		default:
+			fmt.Fprintf(w, "  %-55s %14.0f\n", name, m.Value)
+		}
+	}
 }
 
 // renderMap draws the field with the final aggregation tree(s).

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestCLITelemetryDump(t *testing.T) {
+	out, err := runCLI(t, "-nodes", "60", "-duration", "20s", "-telemetry", "-v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"telemetry (", "diffusion_exploratory_floods", "mac_data_tx", "sim_events", "kernel:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCLITraceOutAndSnapshots(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	out, err := runCLI(t, "-nodes", "60", "-duration", "20s",
+		"-trace-out", path, "-snapshot-every", "5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "trace written to") {
+		t.Errorf("no trace-out confirmation:\n%s", out)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d := trace.NewDecoder(f)
+	events, snaps := 0, 0
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.IsSnapshot {
+			snaps++
+		} else {
+			events++
+		}
+	}
+	if events == 0 || snaps == 0 {
+		t.Fatalf("trace file has %d events, %d snapshots", events, snaps)
+	}
+}
+
+func TestCLISnapshotEveryRequiresTraceOut(t *testing.T) {
+	if _, err := runCLI(t, "-nodes", "60", "-duration", "10s", "-snapshot-every", "5s"); err == nil {
+		t.Fatal("snapshot-every without trace-out accepted")
+	}
+}
+
+func TestCLIPprof(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	if _, err := runCLI(t, "-nodes", "60", "-duration", "10s", "-pprof", path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty profile")
+	}
+}

@@ -1,0 +1,64 @@
+// Telemetry: what does greedy aggregation actually *do* differently from
+// opportunistic path selection? This example runs the same 100-node field
+// under both schemes with the telemetry registry enabled and prints the
+// protocol counters side by side — the set-cover invocations, truncation
+// prunes, and the incremental-cost traffic that exists only on the greedy
+// path, alongside the shared MAC/diffusion machinery both schemes exercise.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func main() {
+	counters := []struct{ name, note string }{
+		{"diffusion_exploratory_floods", "per-source exploratory rounds"},
+		{"diffusion_gradient_cache_hits", "gradient refreshes (cache hit)"},
+		{"diffusion_gradient_cache_misses", "new gradients set up"},
+		{"diffusion_reinforce_sent", "positive reinforcements"},
+		{"diffusion_inccost_sent", "incremental-cost messages (greedy only)"},
+		{"diffusion_setcover_calls", "set-cover invocations at aggregation points"},
+		{"diffusion_truncation_prunes", "branches pruned by negative reinforcement"},
+		{"mac_data_tx", "data frames on the air"},
+		{"mac_collisions", "MAC collisions"},
+	}
+
+	byScheme := map[core.Scheme][]obs.Metric{}
+	for _, scheme := range []core.Scheme{core.SchemeGreedy, core.SchemeOpportunistic} {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 7
+		cfg.Nodes = 100
+		cfg.Duration = 60 * time.Second
+		cfg.Scheme = scheme
+		cfg.Telemetry = &obs.Config{}
+		out, err := core.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		byScheme[scheme] = out.Telemetry
+		fmt.Printf("%-13s delivery %.2f, avg delay %v, %d kernel events\n",
+			scheme, out.Metrics.DeliveryRatio,
+			time.Duration(out.Metrics.AvgDelay*float64(time.Second)).Round(time.Millisecond),
+			out.Kernel.Events)
+	}
+
+	fmt.Printf("\n%-34s %12s %14s\n", "counter", "greedy", "opportunistic")
+	for _, c := range counters {
+		g := obs.Value(byScheme[core.SchemeGreedy], c.name)
+		o := obs.Value(byScheme[core.SchemeOpportunistic], c.name)
+		fmt.Printf("%-34s %12.0f %14.0f   %s\n", c.name, g, o, c.note)
+	}
+
+	fmt.Println("\nThe greedy scheme pays for its cheaper trees with extra control")
+	fmt.Println("traffic: incremental-cost messages advertise existing aggregation")
+	fmt.Println("points so later sources can graft onto them. Opportunistic")
+	fmt.Println("diffusion never sends one — each source reinforces its own")
+	fmt.Println("lowest-delay path and aggregation happens only by accident.")
+}

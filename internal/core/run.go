@@ -14,6 +14,7 @@ import (
 	"repro/internal/idealized"
 	"repro/internal/mac"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/opportunistic"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -141,7 +142,16 @@ type Config struct {
 
 	// Tracer, when non-nil, receives every protocol send and receive (see
 	// package trace). Tracing a full run is expensive; filter the recorder.
+	// A tracer that also implements trace.SnapshotSink receives periodic
+	// protocol-state snapshots when Telemetry.SnapshotEvery is set.
 	Tracer diffusion.Tracer
+
+	// Telemetry, when non-nil, enables the observability subsystem: the
+	// kernel, MAC, and protocol layers feed a metrics registry whose
+	// snapshot lands in Output.Telemetry. The zero obs.Config value is valid
+	// (private registry, no snapshots); telemetry never alters protocol
+	// outcomes. See package obs.
+	Telemetry *obs.Config
 
 	// BatteryJ, when positive, gives every node a battery budget in joules:
 	// a node whose dissipated energy (communication plus an always-on idle
@@ -210,6 +220,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: failure waves configured twice (Failures and Chaos.Waves)")
 		}
 	}
+	if c.Telemetry != nil {
+		if err := c.Telemetry.Validate(); err != nil {
+			return err
+		}
+	}
 	if err := c.Diffusion.Validate(); err != nil {
 		return err
 	}
@@ -241,6 +256,11 @@ type Output struct {
 	// Chaos is the fault-injection report (invariant violations, recovery
 	// metrics, injection counters) when Config.Chaos is set; nil otherwise.
 	Chaos *chaos.Report
+	// Kernel reports event-loop throughput; always filled.
+	Kernel KernelStats
+	// Telemetry is the metrics-registry snapshot when Config.Telemetry is
+	// set; nil otherwise.
+	Telemetry []obs.Metric
 }
 
 // Lifetime summarizes battery-depletion outcomes of a run.
@@ -256,6 +276,13 @@ type Lifetime struct {
 func Run(cfg Config) (Output, error) {
 	if err := cfg.Validate(); err != nil {
 		return Output{}, err
+	}
+	wallStart := time.Now()
+	var reg *obs.Registry
+	if cfg.Telemetry != nil {
+		if reg = cfg.Telemetry.Registry; reg == nil {
+			reg = obs.NewRegistry()
+		}
 	}
 	kernel := sim.NewKernel(cfg.Seed)
 	area := geom.Square(0, 0, cfg.FieldSide)
@@ -349,6 +376,16 @@ func Run(cfg Config) (Output, error) {
 		}
 		if tracer != nil {
 			rt.SetTracer(tracer)
+		}
+		if reg != nil {
+			rt.SetInstruments(diffusion.NewInstruments(reg, cfg.Scheme.String()))
+		}
+		// Drops become OpDrop trace events for the user's tracer only; the
+		// chaos invariant checker keys on sends and receives and must not
+		// see them.
+		installDropHook(network, kernel, cfg.Tracer, reg, cfg.Scheme.String())
+		if ss, ok := cfg.Tracer.(trace.SnapshotSink); ok && cfg.Telemetry != nil {
+			scheduleSnapshots(kernel, rt, ss, cfg.Telemetry.SnapshotEvery)
 		}
 		startRun = rt.Start
 	}
@@ -467,6 +504,20 @@ func Run(cfg Config) (Output, error) {
 		sent[msg.KindData] = mcast.Sent()
 	}
 
+	kstats := KernelStats{
+		Events:         kernel.Processed(),
+		QueueHighWater: kernel.QueueHighWater(),
+		WallTime:       time.Since(wallStart),
+	}
+	var telemetry []obs.Metric
+	if reg != nil {
+		if rt != nil {
+			rt.Instruments().FlushCascades()
+		}
+		bridgeStats(reg, cfg.Scheme.String(), network.Stats(), sent, kstats, cfg.Duration)
+		telemetry = reg.Snapshot()
+	}
+
 	return Output{
 		Metrics:    result,
 		MAC:        network.Stats(),
@@ -477,6 +528,8 @@ func Run(cfg Config) (Output, error) {
 		Trees:      trees,
 		Lifetime:   life,
 		Chaos:      report,
+		Kernel:     kstats,
+		Telemetry:  telemetry,
 	}, nil
 }
 

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestTelemetryDoesNotPerturbRun pins the subsystem's core promise: enabling
+// metrics, snapshots, and the drop hook changes nothing about protocol
+// outcomes for a fixed seed.
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Seed = 11
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Telemetry = &obs.Config{SnapshotEvery: 5 * time.Second}
+	cfg.Tracer = trace.NewRecorder(64)
+	instrumented, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Metrics, instrumented.Metrics) {
+		t.Fatalf("telemetry changed metrics:\nplain: %+v\ninstr: %+v",
+			plain.Metrics, instrumented.Metrics)
+	}
+	if !reflect.DeepEqual(plain.Sent, instrumented.Sent) {
+		t.Fatalf("telemetry changed traffic: %v vs %v", plain.Sent, instrumented.Sent)
+	}
+	if plain.Telemetry != nil {
+		t.Fatal("registry snapshot present without Telemetry config")
+	}
+	if len(instrumented.Telemetry) == 0 {
+		t.Fatal("no metrics collected with Telemetry config")
+	}
+}
+
+func TestTelemetryCountersPopulated(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Seed = 3
+	cfg.Telemetry = &obs.Config{}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"diffusion_exploratory_floods",
+		"diffusion_reinforce_sent",
+		"diffusion_setcover_calls",
+		"mac_data_tx",
+		"mac_delivered",
+		"sim_events",
+	} {
+		if v := obs.Value(out.Telemetry, name); v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	if out.Kernel.Events == 0 || out.Kernel.WallTime <= 0 {
+		t.Fatalf("kernel stats unfilled: %+v", out.Kernel)
+	}
+	if out.Kernel.QueueHighWater <= 0 {
+		t.Fatalf("queue high water = %d", out.Kernel.QueueHighWater)
+	}
+	if out.Kernel.EventsPerSec() <= 0 {
+		t.Fatalf("events/sec = %v", out.Kernel.EventsPerSec())
+	}
+}
+
+// TestSnapshotsRecorded checks that a SnapshotSink tracer receives periodic
+// per-node state dumps with gradients on at least some nodes.
+func TestSnapshotsRecorded(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Seed = 7
+	cfg.Telemetry = &obs.Config{SnapshotEvery: 10 * time.Second}
+
+	sink := &snapshotCollector{}
+	cfg.Tracer = sink
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.snaps) == 0 {
+		t.Fatal("no snapshots recorded")
+	}
+	withGrads, onTree := 0, 0
+	for _, s := range sink.snaps {
+		if len(s.Gradients) > 0 {
+			withGrads++
+		}
+		if s.OnTree {
+			onTree++
+		}
+	}
+	if withGrads == 0 || onTree == 0 {
+		t.Fatalf("snapshots carry no protocol state: grads=%d tree=%d of %d",
+			withGrads, onTree, len(sink.snaps))
+	}
+}
+
+type snapshotCollector struct {
+	events []trace.Event
+	snaps  []trace.SnapshotRecord
+}
+
+func (c *snapshotCollector) Record(e trace.Event)                  { c.events = append(c.events, e) }
+func (c *snapshotCollector) RecordSnapshot(s trace.SnapshotRecord) { c.snaps = append(c.snaps, s) }

@@ -169,6 +169,7 @@ func (n *node) flush(st *interestState) {
 		}
 		family[i] = setcover.Subset[msg.ItemKey]{Label: i, Elements: keys, Weight: float64(c.w)}
 	}
+	n.rt.ins.setCover(len(family))
 	cover, err := setcover.Greedy(universe, family)
 	if err != nil {
 		panic(err) // weights are non-negative by construction
@@ -216,7 +217,9 @@ func (n *node) truncationPass() {
 		if len(window) == 0 {
 			continue
 		}
-		for _, victim := range n.rt.strategy.Truncate(window) {
+		victims := n.rt.strategy.Truncate(window)
+		n.rt.ins.truncation(len(victims))
+		for _, victim := range victims {
 			n.unicast(victim, msg.Message{
 				Kind:     msg.KindNegReinforce,
 				Interest: iid,

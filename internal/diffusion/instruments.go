@@ -1,0 +1,125 @@
+package diffusion
+
+import (
+	"repro/internal/msg"
+	"repro/internal/obs"
+)
+
+// Instruments bundles the protocol-level telemetry counters a Runtime feeds
+// when telemetry is enabled. A nil *Instruments is a valid no-op (the
+// default), so instrumentation sites call its methods unconditionally; none
+// of them consume kernel randomness, keeping runs bit-for-bit identical
+// with telemetry on or off.
+type Instruments struct {
+	gradientHits      *obs.Counter
+	gradientMisses    *obs.Counter
+	exploratoryFloods *obs.Counter
+	incCostSent       *obs.Counter
+	setCoverCalls     *obs.Counter
+	setCoverInput     *obs.Histogram
+	reinforceSent     *obs.Counter
+	truncationPrunes  *obs.Counter
+	cascadeLen        *obs.Histogram
+
+	// cascades counts reinforcement sends per (interest, exploratory
+	// entry): each sink decision propagates hop by hop up the path, so the
+	// per-entry send count is the cascade length.
+	cascades map[cascadeKey]int
+}
+
+type cascadeKey struct {
+	iid msg.InterestID
+	id  msg.MsgID
+}
+
+// smallSizeBounds bucket small integer distributions (set-cover input
+// sizes, cascade lengths).
+var smallSizeBounds = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+// NewInstruments registers the diffusion metrics in reg, labeled with the
+// scheme so merged sweep snapshots stay separable per scheme.
+func NewInstruments(reg *obs.Registry, scheme string) *Instruments {
+	l := obs.Label{Key: "scheme", Value: scheme}
+	return &Instruments{
+		gradientHits:      reg.Counter("diffusion_gradient_cache_hits", l),
+		gradientMisses:    reg.Counter("diffusion_gradient_cache_misses", l),
+		exploratoryFloods: reg.Counter("diffusion_exploratory_floods", l),
+		incCostSent:       reg.Counter("diffusion_inccost_sent", l),
+		setCoverCalls:     reg.Counter("diffusion_setcover_calls", l),
+		setCoverInput:     reg.Histogram("diffusion_setcover_input_size", smallSizeBounds, l),
+		reinforceSent:     reg.Counter("diffusion_reinforce_sent", l),
+		truncationPrunes:  reg.Counter("diffusion_truncation_prunes", l),
+		cascadeLen:        reg.Histogram("diffusion_reinforce_cascade_len", smallSizeBounds, l),
+		cascades:          make(map[cascadeKey]int),
+	}
+}
+
+// gradient records a gradient-table access: hit refreshes an existing
+// gradient, a miss installs a new one.
+func (ins *Instruments) gradient(hit bool) {
+	if ins == nil {
+		return
+	}
+	if hit {
+		ins.gradientHits.Inc()
+	} else {
+		ins.gradientMisses.Inc()
+	}
+}
+
+// exploratoryFlood records one exploratory event origination.
+func (ins *Instruments) exploratoryFlood() {
+	if ins == nil {
+		return
+	}
+	ins.exploratoryFloods.Inc()
+}
+
+// incCost records one incremental-cost unicast.
+func (ins *Instruments) incCost() {
+	if ins == nil {
+		return
+	}
+	ins.incCostSent.Inc()
+}
+
+// setCover records one greedy set-cover invocation over inputs subsets.
+func (ins *Instruments) setCover(inputs int) {
+	if ins == nil {
+		return
+	}
+	ins.setCoverCalls.Inc()
+	ins.setCoverInput.Observe(float64(inputs))
+}
+
+// reinforce records one reinforcement unicast, extending the entry's
+// cascade.
+func (ins *Instruments) reinforce(iid msg.InterestID, id msg.MsgID) {
+	if ins == nil {
+		return
+	}
+	ins.reinforceSent.Inc()
+	ins.cascades[cascadeKey{iid, id}]++
+}
+
+// truncation records the victims of one truncation pass.
+func (ins *Instruments) truncation(victims int) {
+	if ins == nil {
+		return
+	}
+	ins.truncationPrunes.Add(int64(victims))
+}
+
+// FlushCascades folds the accumulated per-entry reinforcement chains into
+// the cascade-length histogram. Call once when the run ends; histogram
+// totals are order-independent, so map iteration stays deterministic in
+// effect.
+func (ins *Instruments) FlushCascades() {
+	if ins == nil {
+		return
+	}
+	for _, n := range ins.cascades {
+		ins.cascadeLen.Observe(float64(n))
+	}
+	ins.cascades = make(map[cascadeKey]int)
+}

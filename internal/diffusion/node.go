@@ -315,6 +315,7 @@ func (n *node) exploratoryRound(iid msg.InterestID) {
 		Items:    []msg.Item{item},
 		Bytes:    msg.EventBytes,
 	}
+	n.rt.ins.exploratoryFlood()
 	n.broadcast(m)
 }
 
@@ -371,6 +372,7 @@ func (n *node) onInterest(from topology.NodeID, m msg.Message) {
 func (n *node) setGradient(st *interestState, nbr topology.NodeID, kind gradKind) {
 	p := n.rt.params
 	g := st.grads[nbr]
+	n.rt.ins.gradient(g != nil)
 	if g == nil {
 		g = &gradient{}
 		st.grads[nbr] = g
@@ -508,6 +510,7 @@ func (n *node) maybeEmitIncCost(st *interestState, e *entryState) {
 		Bytes:    msg.ControlBytes,
 	}
 	for _, nbr := range n.dataGradients(st) {
+		n.rt.ins.incCost()
 		n.unicast(nbr, m)
 	}
 }
@@ -551,6 +554,7 @@ func (n *node) onIncCost(from topology.NodeID, m msg.Message) {
 		Bytes:    msg.ControlBytes,
 	}
 	for _, nbr := range n.dataGradients(st) {
+		n.rt.ins.incCost()
 		n.unicast(nbr, fwd)
 	}
 }
@@ -602,6 +606,7 @@ func (n *node) reinforceEntry(st *interestState, e *entryState) {
 		Origin:   n.id,
 		Bytes:    msg.ControlBytes,
 	}
+	n.rt.ins.reinforce(st.id, e.ID)
 	n.unicast(nbr, m)
 }
 

@@ -68,6 +68,7 @@ type Runtime struct {
 	started  bool
 	sent     map[msg.Kind]int
 	tracer   Tracer
+	ins      *Instruments
 }
 
 // Tracer receives structured protocol events; trace.Recorder implements it.
@@ -77,6 +78,13 @@ type Tracer interface {
 
 // SetTracer installs an optional protocol tracer. Call before Start.
 func (rt *Runtime) SetTracer(t Tracer) { rt.tracer = t }
+
+// SetInstruments installs optional telemetry counters. Call before Start;
+// a nil value (the default) keeps every instrumentation site a no-op.
+func (rt *Runtime) SetInstruments(ins *Instruments) { rt.ins = ins }
+
+// Instruments returns the installed telemetry counters, if any.
+func (rt *Runtime) Instruments() *Instruments { return rt.ins }
 
 // traceMsg records a send or receive if a tracer is installed.
 func (rt *Runtime) traceMsg(op trace.Op, node, peer topology.NodeID, m msg.Message) {
@@ -247,6 +255,42 @@ func (rt *Runtime) jitter(max time.Duration) time.Duration {
 // newMsgID draws a fresh random message id.
 func (rt *Runtime) newMsgID() msg.MsgID {
 	return msg.MsgID(rt.kernel.Rand().Uint64())
+}
+
+// Snapshot captures every node's per-interest protocol state at the current
+// virtual time, in (node, interest) order: gradient tables, tree membership,
+// and cache sizes. It is read-only and consumes no randomness, so periodic
+// snapshotting leaves protocol outcomes untouched.
+func (rt *Runtime) Snapshot() []trace.SnapshotRecord {
+	var out []trace.SnapshotRecord
+	now := rt.kernel.Now()
+	for _, n := range rt.nodes {
+		for _, iid := range n.interestIDs() {
+			st := n.interests[iid]
+			rec := trace.SnapshotRecord{
+				At:       now,
+				Node:     n.id,
+				Interest: iid,
+				On:       n.on(),
+				Sink:     n.isSink && iid == n.sinkInterest,
+				Source:   n.isSource && st.activated,
+				DupCache: len(st.dataCache),
+				Entries:  len(st.entries),
+			}
+			rec.OnTree = rec.Sink || n.hasDataGradient(st)
+			for _, nbr := range sortedNeighborIDs(st.grads) {
+				g := st.grads[nbr]
+				if g.expires <= now {
+					continue
+				}
+				rec.Gradients = append(rec.Gradients, trace.SnapshotGradient{
+					Nbr: nbr, Data: g.kind == gradData, Expires: g.expires,
+				})
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 // sortedNeighborIDs returns keys of a per-neighbor map in ascending order,

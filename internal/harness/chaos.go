@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -103,6 +104,17 @@ type ChaosRow struct {
 type ChaosTable struct {
 	Fields int
 	Rows   []ChaosRow
+	// Meta is the grid's execution record, always filled by Chaos.
+	Meta *RunMeta
+}
+
+// Manifest builds the provenance record written beside the grid's CSV.
+func (t *ChaosTable) Manifest() *obs.Manifest {
+	schemes := make([]string, len(bothSchemes))
+	for i, s := range bothSchemes {
+		schemes[i] = s.String()
+	}
+	return t.Meta.Manifest("figchaos", schemes, nil)
 }
 
 // Chaos runs the robustness grid: every scenario × both schemes at the
@@ -133,6 +145,9 @@ func Chaos(o Options) (*ChaosTable, error) {
 			cfg := baseConfig(o, scheme, chaosNodes, f)
 			cc := sc.Config(o.Duration)
 			cfg.Chaos = &cc
+			if o.Telemetry {
+				cfg.Telemetry = &obs.Config{}
+			}
 			jobs = append(jobs, job{row: ri, field: f, cfg: cfg})
 		}
 	}
@@ -155,18 +170,23 @@ func Chaos(o Options) (*ChaosTable, error) {
 			results[i] = result{job: jobs[i], out: out, err: err}
 			if o.Progress != nil && err == nil {
 				r := &t.Rows[jobs[i].row]
-				o.Progress(fmt.Sprintf("figchaos %s/%s field=%d done",
-					r.Scenario, r.Scheme, jobs[i].field))
+				o.Progress(fmt.Sprintf("figchaos %s/%s field=%d done (%d events, %.0f ev/s)",
+					r.Scenario, r.Scheme, jobs[i].field,
+					out.Kernel.Events, out.Kernel.EventsPerSec()))
 			}
 		}(i)
 	}
 	wg.Wait()
 
+	meta := newMetaCollector(o)
 	for _, r := range results {
 		row := &t.Rows[r.job.row]
 		if r.err != nil {
 			return nil, fmt.Errorf("harness: figchaos %s/%s field %d: %w",
 				row.Scenario, row.Scheme, r.job.field, r.err)
+		}
+		if err := meta.add(r.out); err != nil {
+			return nil, err
 		}
 		m := r.out.Metrics
 		row.Ratio = append(row.Ratio, m.DeliveryRatio)
@@ -191,6 +211,7 @@ func Chaos(o Options) (*ChaosTable, error) {
 			}
 		}
 	}
+	t.Meta = meta.finish()
 	return t, nil
 }
 

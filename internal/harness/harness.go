@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -33,23 +34,30 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(string)
+	// Telemetry enables per-run metrics registries, merged into each
+	// table's Meta for the provenance manifest. Each run gets a private
+	// registry (the obs.Registry is single-threaded), so concurrent
+	// workers never share one.
+	Telemetry bool
 }
 
 // DefaultOptions reproduces the paper's methodology (10 fields per point).
 func DefaultOptions() Options {
 	return Options{
-		Fields:   10,
-		Duration: 160 * time.Second,
-		Nodes:    []int{50, 100, 150, 200, 250, 300, 350},
+		Fields:    10,
+		Duration:  160 * time.Second,
+		Nodes:     []int{50, 100, 150, 200, 250, 300, 350},
+		Telemetry: true,
 	}
 }
 
 // QuickOptions is a reduced-cost preset for tests and demos.
 func QuickOptions() Options {
 	return Options{
-		Fields:   3,
-		Duration: 60 * time.Second,
-		Nodes:    []int{50, 150, 250},
+		Fields:    3,
+		Duration:  60 * time.Second,
+		Nodes:     []int{50, 150, 250},
+		Telemetry: true,
 	}
 }
 
@@ -101,6 +109,106 @@ type Table struct {
 	Schemes []string
 	Xs      []int
 	Cells   map[string][]Cell
+	// Meta is the sweep's execution record, always filled by the harness.
+	Meta *RunMeta
+}
+
+// Manifest builds the provenance record written beside the table's CSV.
+func (t *Table) Manifest() *obs.Manifest {
+	return t.Meta.Manifest(t.ID, t.Schemes, t.Xs)
+}
+
+// RunMeta is the execution record of one sweep: configuration provenance
+// plus kernel throughput and, when Options.Telemetry is on, the merged
+// metrics snapshot across every run.
+type RunMeta struct {
+	// Fields, BaseSeed, and Duration echo the Options the sweep ran with.
+	Fields   int
+	BaseSeed int64
+	Duration time.Duration
+	// Runs counts completed simulations; WallTime and Events sum their
+	// kernel costs (WallTime sums per-run wall clocks, so with concurrent
+	// workers it exceeds elapsed time — it is the CPU-seconds analogue).
+	Runs     int
+	WallTime time.Duration
+	Events   uint64
+	// Telemetry is the merged registry snapshot; nil without telemetry.
+	Telemetry []obs.Metric
+}
+
+// EventsPerSec returns kernel throughput per wall-clock second of
+// simulation work.
+func (m *RunMeta) EventsPerSec() float64 {
+	if m == nil || m.WallTime <= 0 {
+		return 0
+	}
+	return float64(m.Events) / m.WallTime.Seconds()
+}
+
+// Manifest renders the meta record as a provenance manifest. A nil receiver
+// yields a manifest with only environment fields filled.
+func (m *RunMeta) Manifest(figure string, schemes []string, xs []int) *obs.Manifest {
+	if m == nil {
+		m = &RunMeta{}
+	}
+	return &obs.Manifest{
+		SchemaVersion:   obs.ManifestVersion,
+		Figure:          figure,
+		CreatedAt:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		Schemes:         schemes,
+		Xs:              xs,
+		Fields:          m.Fields,
+		SimSeconds:      m.Duration.Seconds(),
+		BaseSeed:        m.BaseSeed,
+		Runs:            m.Runs,
+		WallSeconds:     m.WallTime.Seconds(),
+		KernelEvents:    m.Events,
+		EventsPerSec:    m.EventsPerSec(),
+		PeakMemBytes:    obs.PeakMemoryBytes(),
+		TelemetryDigest: obs.Digest(m.Telemetry),
+		Metrics:         m.Telemetry,
+	}
+}
+
+// metaCollector accumulates RunMeta across a sweep's results, merging
+// per-run registries through one aggregate registry.
+type metaCollector struct {
+	meta RunMeta
+	agg  *obs.Registry
+}
+
+func newMetaCollector(o Options) *metaCollector {
+	c := &metaCollector{meta: RunMeta{
+		Fields:   o.Fields,
+		BaseSeed: o.BaseSeed,
+		Duration: o.Duration,
+	}}
+	if o.Telemetry {
+		c.agg = obs.NewRegistry()
+	}
+	return c
+}
+
+func (c *metaCollector) add(out core.Output) error {
+	c.meta.Runs++
+	c.meta.WallTime += out.Kernel.WallTime
+	c.meta.Events += out.Kernel.Events
+	if c.agg != nil {
+		if err := c.agg.Absorb(out.Telemetry); err != nil {
+			return fmt.Errorf("harness: merge telemetry: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c *metaCollector) finish() *RunMeta {
+	if c.agg != nil {
+		c.meta.Telemetry = c.agg.Snapshot()
+	}
+	m := c.meta
+	return &m
 }
 
 // job describes one simulation run within a sweep.
@@ -132,7 +240,11 @@ func sweep(o Options, id, title, xlabel string, schemes []core.Scheme, xs []int,
 	for _, s := range schemes {
 		for xi := range xs {
 			for f := 0; f < o.Fields; f++ {
-				jobs = append(jobs, job{scheme: s, xIdx: xi, field: f, cfg: cfgFor(s, xs[xi], f)})
+				cfg := cfgFor(s, xs[xi], f)
+				if o.Telemetry {
+					cfg.Telemetry = &obs.Config{}
+				}
+				jobs = append(jobs, job{scheme: s, xIdx: xi, field: f, cfg: cfg})
 			}
 		}
 	}
@@ -154,17 +266,22 @@ func sweep(o Options, id, title, xlabel string, schemes []core.Scheme, xs []int,
 			out, err := core.Run(jobs[i].cfg)
 			results[i] = result{job: jobs[i], out: out, err: err}
 			if o.Progress != nil && err == nil {
-				o.Progress(fmt.Sprintf("%s %s x=%d field=%d done",
-					id, jobs[i].scheme, jobs[i].cfg.Nodes, jobs[i].field))
+				o.Progress(fmt.Sprintf("%s %s x=%d field=%d done (%d events, %.0f ev/s)",
+					id, jobs[i].scheme, jobs[i].cfg.Nodes, jobs[i].field,
+					out.Kernel.Events, out.Kernel.EventsPerSec()))
 			}
 		}(i)
 	}
 	wg.Wait()
 
+	meta := newMetaCollector(o)
 	for _, r := range results {
 		if r.err != nil {
 			return nil, fmt.Errorf("harness: %s %v x-index %d field %d: %w",
 				id, r.job.scheme, r.job.xIdx, r.job.field, r.err)
+		}
+		if err := meta.add(r.out); err != nil {
+			return nil, err
 		}
 		c := &t.Cells[r.job.scheme.String()][r.job.xIdx]
 		m := r.out.Metrics
@@ -174,6 +291,7 @@ func sweep(o Options, id, title, xlabel string, schemes []core.Scheme, xs []int,
 		c.Delay = append(c.Delay, m.AvgDelay)
 		c.Ratio = append(c.Ratio, m.DeliveryRatio)
 	}
+	t.Meta = meta.finish()
 	return t, nil
 }
 

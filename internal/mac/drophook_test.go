@@ -1,0 +1,104 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+type droplog struct {
+	from    []topology.NodeID
+	to      []topology.NodeID
+	reasons []RxDropReason
+}
+
+func (d *droplog) hook(from, to topology.NodeID, _ Frame, reason RxDropReason) {
+	d.from = append(d.from, from)
+	d.to = append(d.to, to)
+	d.reasons = append(d.reasons, reason)
+}
+
+func (d *droplog) count(r RxDropReason) int {
+	n := 0
+	for _, got := range d.reasons {
+		if got == r {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDropHookReceiverOff(t *testing.T) {
+	k, n := line(t, 1, 0, 10, 20)
+	var d droplog
+	n.SetDropHook(d.hook)
+	n.SetOn(2, false)
+	if err := n.Broadcast(0, Frame{Bytes: 64, Payload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(time.Second)
+	if d.count(RxReceiverOff) != 1 {
+		t.Fatalf("receiver-off drops: %+v", d)
+	}
+	if d.to[0] != 2 || d.from[0] != 0 {
+		t.Fatalf("drop endpoints: %+v", d)
+	}
+}
+
+func TestDropHookLinkLossOnlyForIntendedReceiver(t *testing.T) {
+	// All mutually in range; filter kills every link. The unicast 0->2 must
+	// report exactly one drop (to node 2): node 1 overhears but is not an
+	// intended receiver, so its loss is not a drop.
+	k, n := line(t, 1, 0, 10, 20)
+	var d droplog
+	n.SetDropHook(d.hook)
+	n.SetLinkFilter(func(from, to topology.NodeID) bool { return false })
+	if err := n.Unicast(0, 2, Frame{Bytes: 64, Payload: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(time.Second)
+	if got := d.count(RxLinkLoss); got == 0 {
+		t.Fatalf("no link-loss drops reported: %+v", d)
+	}
+	for i, to := range d.to {
+		if to != 2 {
+			t.Fatalf("drop %d reported for bystander node %d", i, to)
+		}
+	}
+}
+
+func TestDropHookCollision(t *testing.T) {
+	// Hidden terminals: 0 and 2 cannot hear each other, both reach 1.
+	k, n := line(t, 3, 0, 30, 60)
+	var d droplog
+	n.SetDropHook(d.hook)
+	var c capture
+	n.SetReceiver(1, c.receiver(k))
+	if err := n.Broadcast(0, Frame{Bytes: 512, Payload: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Broadcast(2, Frame{Bytes: 512, Payload: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(time.Second)
+	if n.Stats().Collisions == 0 {
+		t.Skip("no collision materialized for this seed")
+	}
+	if d.count(RxCollision) == 0 {
+		t.Fatalf("collisions counted but no collision drops: %+v", d)
+	}
+}
+
+func TestBackoffsCounted(t *testing.T) {
+	k, n := line(t, 1, 0, 10, 20)
+	for i := 0; i < 4; i++ {
+		if err := n.Broadcast(0, Frame{Bytes: 256, Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run(time.Second)
+	if got := n.Stats().Backoffs; got < 4 {
+		t.Fatalf("Backoffs = %d, want at least one per transmission", got)
+	}
+}

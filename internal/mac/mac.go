@@ -118,6 +118,20 @@ const (
 	DropNodeOff
 )
 
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	switch r {
+	case DropQueueFull:
+		return "queue-full"
+	case DropRetryExceeded:
+		return "retry-exceeded"
+	case DropNodeOff:
+		return "node-off"
+	default:
+		return fmt.Sprintf("drop(%d)", int(r))
+	}
+}
+
 // Stats aggregates link-layer counters across the run.
 type Stats struct {
 	DataTx      int // frames put on the air (excluding ACKs/RTS/CTS)
@@ -128,11 +142,53 @@ type Stats struct {
 	Collisions  int // frame receptions corrupted by overlap or half-duplex
 	Drops       map[DropReason]int
 	Retries     int
+	Backoffs    int // backoff waits scheduled: initial contention, busy-medium re-sense, retry
 	QueueMax    int // high-water mark across all nodes' queues
 	BytesOnAir  int64
 	AcksMissing int // unicast attempts that timed out waiting for an ACK
 	LinkLoss    int // receptions suppressed by an installed LinkFilter
 }
+
+// RxDropReason classifies, for a DropHook, why a reception the unit-disk
+// channel would have delivered did not happen.
+type RxDropReason int
+
+// Reception drop reasons.
+const (
+	// RxCollision is a reception corrupted by frame overlap or a
+	// half-duplex receiver that was itself transmitting.
+	RxCollision RxDropReason = iota + 1
+	// RxReceiverOff is a reception at a powered-off node.
+	RxReceiverOff
+	// RxSenderOff is a frame whose sender died mid-transmission.
+	RxSenderOff
+	// RxLinkLoss is a reception vetoed by the installed LinkFilter.
+	RxLinkLoss
+)
+
+// String implements fmt.Stringer.
+func (r RxDropReason) String() string {
+	switch r {
+	case RxCollision:
+		return "collision"
+	case RxReceiverOff:
+		return "receiver-off"
+	case RxSenderOff:
+		return "sender-off"
+	case RxLinkLoss:
+		return "link-loss"
+	default:
+		return fmt.Sprintf("rxdrop(%d)", int(r))
+	}
+}
+
+// DropHook observes lost receptions of data frames, once per (transmission,
+// intended receiver) pair — broadcast frames report every in-range
+// neighbor, unicast frames only the destination, and each retransmission
+// reports again, mirroring what a sniffer beside the receiver would see.
+// Hooks must not mutate MAC state. Tracing installs these to make loss
+// debuggable from traces alone.
+type DropHook func(from, to topology.NodeID, f Frame, reason RxDropReason)
 
 // LinkFilter decides whether a frame transmitted by from is successfully
 // received at to. It is consulted exactly once per (transmission, in-range
@@ -155,6 +211,7 @@ type Network struct {
 	nodes  []*nodeState
 	stats  Stats
 	filter LinkFilter
+	drop   DropHook
 }
 
 type nodeState struct {
@@ -232,6 +289,21 @@ func (n *Network) SetReceiver(id topology.NodeID, r Receiver) { n.nodes[id].recv
 // filter must be deterministic given the kernel's RNG for runs to stay
 // reproducible.
 func (n *Network) SetLinkFilter(f LinkFilter) { n.filter = f }
+
+// SetDropHook installs a lost-reception observer (nil removes it).
+func (n *Network) SetDropHook(h DropHook) { n.drop = h }
+
+// reportDrop invokes the drop hook for a lost data-frame reception at nb,
+// but only when nb was an intended receiver of tx.
+func (n *Network) reportDrop(tx *transmission, nb topology.NodeID, reason RxDropReason) {
+	if n.drop == nil || tx.kind != txData {
+		return
+	}
+	if tx.to != Broadcast && tx.to != nb {
+		return
+	}
+	n.drop(tx.from, nb, tx.frame, reason)
+}
 
 // Meter returns node id's energy meter.
 func (n *Network) Meter(id topology.NodeID) *energy.Meter { return n.energy[id] }
@@ -326,6 +398,7 @@ func (n *Network) startContention(ns *nodeState) {
 		return
 	}
 	ns.sending = true
+	n.stats.Backoffs++
 	slots := n.rng.Intn(ns.cw)
 	wait := n.params.DIFS + time.Duration(slots)*n.params.SlotTime
 	n.kernel.Schedule(wait, func() { n.senseAndSend(ns) })
@@ -338,6 +411,7 @@ func (n *Network) senseAndSend(ns *nodeState) {
 	}
 	if n.busy(ns) {
 		// Medium busy: back off again with the same window.
+		n.stats.Backoffs++
 		slots := n.rng.Intn(ns.cw) + 1
 		n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, func() {
 			n.senseAndSend(ns)
@@ -471,6 +545,7 @@ func (n *Network) begin(ns *nodeState, tx *transmission, airtime time.Duration, 
 	for _, nb := range n.field.Neighbors(ns.id) {
 		rs := n.nodes[nb]
 		if !rs.on {
+			n.reportDrop(tx, nb, RxReceiverOff)
 			continue
 		}
 		// The receiver's radio is captured for the airtime either way.
@@ -527,6 +602,16 @@ func (n *Network) end(tx *transmission) {
 		}
 		rs.audible = append(rs.audible[:idx], rs.audible[idx+1:]...)
 		if !rs.on || senderDied || tx.corrupted[nb] || tx.lostAt(nb) {
+			reason := RxLinkLoss
+			switch {
+			case !rs.on:
+				reason = RxReceiverOff
+			case senderDied:
+				reason = RxSenderOff
+			case tx.corrupted[nb]:
+				reason = RxCollision
+			}
+			n.reportDrop(tx, nb, reason)
 			continue
 		}
 		if tx.kind == txRTS || tx.kind == txCTS {
@@ -621,6 +706,7 @@ func (n *Network) ackTimeout(ns *nodeState, of *outFrame) {
 		ns.cw *= 2
 	}
 	ns.sending = true
+	n.stats.Backoffs++
 	slots := n.rng.Intn(ns.cw) + 1
 	n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, func() {
 		n.senseAndSend(ns)

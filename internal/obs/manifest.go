@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// ManifestVersion is bumped whenever the manifest schema changes
+// incompatibly (see DESIGN.md "Observability").
+const ManifestVersion = 1
+
+// Manifest is the provenance record written beside every results CSV: what
+// was run, with what seed and scheme, how long it took, and a digest of the
+// telemetry it produced, so every figure is reproducible and perf
+// regressions are diffable.
+type Manifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	Figure        string `json:"figure"`
+	CreatedAt     string `json:"created_at,omitempty"` // RFC 3339, wall clock
+	GoVersion     string `json:"go_version"`
+	NumCPU        int    `json:"num_cpu"`
+
+	// The sweep configuration: schemes and x values of the table, random
+	// fields per point, simulated seconds per run, and the seed base every
+	// per-run seed derives from.
+	Schemes    []string `json:"schemes,omitempty"`
+	Xs         []int    `json:"xs,omitempty"`
+	Fields     int      `json:"fields"`
+	SimSeconds float64  `json:"sim_seconds"`
+	BaseSeed   int64    `json:"base_seed"`
+
+	// Execution record: completed runs, wall time, kernel events fired
+	// across all runs and the resulting throughput, and the process's peak
+	// memory footprint (runtime.MemStats.Sys).
+	Runs         int     `json:"runs"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	KernelEvents uint64  `json:"kernel_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	PeakMemBytes uint64  `json:"peak_mem_bytes"`
+
+	// TelemetryDigest fingerprints Metrics (the merged registry snapshot);
+	// both are empty when the sweep ran without telemetry.
+	TelemetryDigest string   `json:"telemetry_digest,omitempty"`
+	Metrics         []Metric `json:"metrics,omitempty"`
+}
+
+// Write marshals the manifest as indented JSON to path.
+func (m *Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadManifest loads a manifest written by Write.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// PeakMemoryBytes reports the process's current memory footprint from the
+// Go runtime (bytes obtained from the OS) — an honest upper bound on the
+// run's peak heap, cheap enough to sample once per manifest.
+func PeakMemoryBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Sys
+}

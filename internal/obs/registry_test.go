@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1, 2})
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("nil handles must observe nothing")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	if err := r.Absorb([]Metric{{Name: "x", Kind: KindCounter, Value: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames", Label{"scheme", "greedy"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("frames", Label{"scheme", "greedy"}) != c {
+		t.Fatal("same name+labels must return the same handle")
+	}
+	if r.Counter("frames", Label{"scheme", "opportunistic"}) == c {
+		t.Fatal("different labels must get a fresh handle")
+	}
+
+	g := r.Gauge("queue")
+	g.Set(7)
+	g.Set(3)
+	if g.Value() != 3 || g.Max() != 7 {
+		t.Fatalf("gauge value=%g max=%g", g.Value(), g.Max())
+	}
+
+	h := r.Histogram("sizes", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 106.5 {
+		t.Fatalf("hist n=%d sum=%g", h.Count(), h.Sum())
+	}
+	if got := h.Mean(); math.Abs(got-21.3) > 1e-9 {
+		t.Fatalf("hist mean = %g", got)
+	}
+	// Buckets: <=1 gets 0.5 and 1; <=2 gets 2; <=4 gets 3; +Inf gets 100.
+	snap := Find(r.Snapshot(), "sizes")
+	if len(snap) != 1 {
+		t.Fatalf("found %d sizes metrics", len(snap))
+	}
+	want := []int64{2, 1, 1, 1}
+	for i, b := range snap[0].Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, b.Count, want[i], snap[0].Buckets)
+		}
+	}
+}
+
+func TestSnapshotDeterministicAndDigest(t *testing.T) {
+	build := func() []Metric {
+		r := NewRegistry()
+		r.Counter("b", Label{"k", "2"}).Add(2)
+		r.Counter("a").Inc()
+		r.Gauge("g").Set(1)
+		r.Histogram("h", []float64{1}).Observe(0.5)
+		return r.Snapshot()
+	}
+	s1, s2 := build(), build()
+	if len(s1) != 4 || s1[0].Name != "a" {
+		t.Fatalf("snapshot not sorted: %+v", s1)
+	}
+	if Digest(s1) != Digest(s2) {
+		t.Fatal("identical registries must digest identically")
+	}
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	if Digest(r.Snapshot()) == Digest(s1) {
+		t.Fatal("different content must digest differently")
+	}
+	if Digest(nil) != "" {
+		t.Fatal("empty snapshot digest must be empty")
+	}
+}
+
+func TestAbsorbMerges(t *testing.T) {
+	mk := func(n int64, gauge float64) []Metric {
+		r := NewRegistry()
+		r.Counter("c", Label{"s", "g"}).Add(n)
+		r.Gauge("q").Set(gauge)
+		h := r.Histogram("h", []float64{1, 2})
+		h.Observe(0.5)
+		h.Observe(float64(n))
+		return r.Snapshot()
+	}
+	agg := NewRegistry()
+	if err := agg.Absorb(mk(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Absorb(mk(4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	snap := agg.Snapshot()
+	if got := Value(snap, "c"); got != 7 {
+		t.Fatalf("merged counter = %g", got)
+	}
+	q := Find(snap, "q")[0]
+	if q.Max != 10 {
+		t.Fatalf("merged gauge max = %g", q.Max)
+	}
+	h := Find(snap, "h")[0]
+	if h.Count != 4 || h.Sum != 8 {
+		t.Fatalf("merged hist n=%d sum=%g", h.Count, h.Sum)
+	}
+	// Kind conflicts are reported.
+	if err := agg.Absorb([]Metric{{Name: "c", Labels: "s=g", Kind: KindGauge}}); err == nil {
+		t.Fatal("kind mismatch not reported")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events").Add(42)
+	snap := r.Snapshot()
+	m := &Manifest{
+		SchemaVersion:   ManifestVersion,
+		Figure:          "fig5",
+		Schemes:         []string{"greedy", "opportunistic"},
+		Xs:              []int{50, 150},
+		Fields:          3,
+		SimSeconds:      60,
+		Runs:            18,
+		WallSeconds:     1.5,
+		KernelEvents:    123456,
+		EventsPerSec:    82304,
+		PeakMemBytes:    PeakMemoryBytes(),
+		TelemetryDigest: Digest(snap),
+		Metrics:         snap,
+	}
+	path := filepath.Join(t.TempDir(), "fig5.manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Figure != "fig5" || got.Runs != 18 || got.TelemetryDigest != m.TelemetryDigest {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if Value(got.Metrics, "events") != 42 {
+		t.Fatalf("metrics lost: %+v", got.Metrics)
+	}
+	if got.PeakMemBytes == 0 {
+		t.Fatal("peak memory not recorded")
+	}
+	if _, err := ReadManifest(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing manifest not reported")
+	}
+}

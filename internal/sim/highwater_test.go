@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueueHighWater(t *testing.T) {
+	k := NewKernel(1)
+	if k.QueueHighWater() != 0 {
+		t.Fatalf("fresh kernel high water = %d", k.QueueHighWater())
+	}
+	for i := 0; i < 5; i++ {
+		k.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if k.QueueHighWater() != 5 {
+		t.Fatalf("high water after scheduling = %d, want 5", k.QueueHighWater())
+	}
+	k.Run(time.Second)
+	// Draining the queue must not lower the recorded peak.
+	if k.Pending() != 0 || k.QueueHighWater() != 5 {
+		t.Fatalf("after run: pending=%d high=%d", k.Pending(), k.QueueHighWater())
+	}
+}

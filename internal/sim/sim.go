@@ -96,8 +96,10 @@ type Kernel struct {
 	running bool
 	stopped bool
 
-	// Processed counts events that have fired since construction.
+	// Processed counts events that have fired since construction; maxQueue
+	// is the queue-depth high-water mark over the kernel's lifetime.
 	processed uint64
+	maxQueue  int
 }
 
 // NewKernel returns a kernel whose randomness is derived from seed.
@@ -118,6 +120,10 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 // Pending returns the number of events still queued (including cancelled
 // events not yet drained).
 func (k *Kernel) Pending() int { return len(k.queue) }
+
+// QueueHighWater returns the largest queue depth ever reached — a telemetry
+// signal for event-storm diagnosis and memory sizing.
+func (k *Kernel) QueueHighWater() int { return k.maxQueue }
 
 // ErrNegativeDelay is returned (via panic recovery in tests) when scheduling
 // into the past is attempted.
@@ -145,6 +151,9 @@ func (k *Kernel) At(at Time, fn Handler) Timer {
 	ev := &event{at: at, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.queue, ev)
+	if len(k.queue) > k.maxQueue {
+		k.maxQueue = len(k.queue)
+	}
 	return Timer{ev: ev}
 }
 

@@ -22,6 +22,11 @@ const (
 	OpSend Op = iota + 1
 	// OpReceive is a protocol message delivered to a node.
 	OpReceive
+	// OpDrop is a protocol message the radio channel would have delivered
+	// but the MAC lost; Event.Reason says why. Node is the would-be
+	// receiver and Peer the sender, mirroring OpReceive, so chaos runs are
+	// debuggable from traces alone.
+	OpDrop
 )
 
 // String implements fmt.Stringer.
@@ -31,9 +36,69 @@ func (o Op) String() string {
 		return "send"
 	case OpReceive:
 		return "recv"
+	case OpDrop:
+		return "drop"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
+}
+
+// ParseOp inverts Op.String.
+func ParseOp(name string) (Op, error) {
+	for _, o := range []Op{OpSend, OpReceive, OpDrop} {
+		if o.String() == name {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown op %q", name)
+}
+
+// DropReason classifies why an OpDrop reception was lost.
+type DropReason int
+
+// Drop reasons.
+const (
+	// DropNone marks non-drop events.
+	DropNone DropReason = iota
+	// DropCollision is a reception corrupted by overlapping frames or a
+	// half-duplex receiver that was itself transmitting.
+	DropCollision
+	// DropReceiverOff is a reception at a powered-off node.
+	DropReceiverOff
+	// DropSenderOff is a frame whose sender died mid-transmission, leaving
+	// nothing decodable.
+	DropSenderOff
+	// DropChaosLoss is a reception vetoed by an installed link filter
+	// (chaos link loss, bursts, asymmetry, partitions).
+	DropChaosLoss
+)
+
+// String implements fmt.Stringer.
+func (d DropReason) String() string {
+	switch d {
+	case DropNone:
+		return ""
+	case DropCollision:
+		return "collision"
+	case DropReceiverOff:
+		return "receiver-off"
+	case DropSenderOff:
+		return "sender-off"
+	case DropChaosLoss:
+		return "chaos-loss"
+	default:
+		return fmt.Sprintf("reason(%d)", int(d))
+	}
+}
+
+// ParseDropReason inverts DropReason.String ("" parses to DropNone).
+func ParseDropReason(name string) (DropReason, error) {
+	for d := DropNone; d <= DropChaosLoss; d++ {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown drop reason %q", name)
 }
 
 // Event is one traced protocol action.
@@ -59,12 +124,18 @@ type Event struct {
 	// with Items > 0 and Fresh == 0 is pure duplicate traffic — the kind
 	// the truncation rule exists to shut off.
 	Fresh int
+	// Reason classifies OpDrop events; DropNone otherwise.
+	Reason DropReason
 }
 
 // String renders the event as one log line.
 func (e Event) String() string {
-	return fmt.Sprintf("%12v %s node=%d peer=%d %s int=%d origin=%d items=%d E=%d C=%d W=%d",
+	s := fmt.Sprintf("%12v %s node=%d peer=%d %s int=%d origin=%d items=%d E=%d C=%d W=%d",
 		e.At, e.Op, e.Node, e.Peer, e.Kind, e.Interest, e.Origin, e.Items, e.E, e.C, e.W)
+	if e.Reason != DropNone {
+		s += " reason=" + e.Reason.String()
+	}
+	return s
 }
 
 // Filter reports whether an event should be recorded.
@@ -102,15 +173,22 @@ func And(fs ...Filter) Filter {
 
 // Recorder keeps the most recent events in a ring buffer and optionally
 // streams each recorded event to a writer.
+//
+// Accounting: Total counts every event the filter accepted (whether still
+// in the ring or since evicted), Evicted counts accepted events the ring
+// overwrote, and Filtered counts events the filter rejected — so consumers
+// can tell ring truncation from filtering. Retained events number
+// Total() - Evicted() == len(Events()).
 type Recorder struct {
-	cap     int
-	ring    []Event
-	next    int
-	full    bool
-	total   int
-	filter  Filter
-	stream  io.Writer
-	dropped int
+	cap      int
+	ring     []Event
+	next     int
+	full     bool
+	total    int
+	filter   Filter
+	stream   io.Writer
+	filtered int
+	evicted  int
 }
 
 // NewRecorder returns a recorder keeping up to capacity events.
@@ -130,8 +208,11 @@ func (r *Recorder) Stream(w io.Writer) { r.stream = w }
 // Record implements the diffusion tracer hook.
 func (r *Recorder) Record(e Event) {
 	if r.filter != nil && !r.filter(e) {
-		r.dropped++
+		r.filtered++
 		return
+	}
+	if r.full {
+		r.evicted++
 	}
 	r.ring[r.next] = e
 	r.next++
@@ -156,12 +237,18 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// Total returns how many events were recorded (including ones evicted from
-// the ring); Filtered returns how many the filter rejected.
+// Total returns how many events passed the filter and were recorded,
+// including ones the ring has since evicted; len(Events()) is always
+// Total() - Evicted().
 func (r *Recorder) Total() int { return r.total }
 
-// Filtered returns the number of events rejected by the filter.
-func (r *Recorder) Filtered() int { return r.dropped }
+// Filtered returns the number of events rejected by the filter (never
+// recorded at all — distinct from ring eviction).
+func (r *Recorder) Filtered() int { return r.filtered }
+
+// Evicted returns the number of recorded events the ring overwrote to make
+// room for newer ones.
+func (r *Recorder) Evicted() int { return r.evicted }
 
 // CountByKind tallies the retained events per message kind.
 func (r *Recorder) CountByKind() map[msg.Kind]int {
