@@ -52,6 +52,9 @@ func reportFigure(b *testing.B, t *harness.Table) {
 	b.ReportMetric(o.Ratio.Mean(), "baseline-delivery")
 	b.ReportMetric(g.Delay.Mean()*1000, "greedy-delay-ms")
 	b.ReportMetric(o.Delay.Mean()*1000, "baseline-delay-ms")
+	if eps := t.Meta.EventsPerSec(); eps > 0 {
+		b.ReportMetric(eps, "events/s")
+	}
 }
 
 func benchFigure(b *testing.B, fn func(harness.Options) (*harness.Table, error)) {

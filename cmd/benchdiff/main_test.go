@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+const rawBase = `goos: linux
+BenchmarkKernelSchedule 	73979215	        17.44 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMACBroadcast   	 1938591	       617.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+const rawRegressed = `goos: linux
+BenchmarkKernelSchedule 	50000000	        25.00 ns/op	      48 B/op	       2 allocs/op
+BenchmarkMACBroadcast   	 1938591	       617.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func snapshot(t *testing.T, raw, path string) {
+	t.Helper()
+	b, err := bench.Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotMode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(in, []byte(rawBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_test.json")
+	var sb strings.Builder
+	if err := run([]string{"-out", out, in}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Results) != 2 {
+		t.Fatalf("snapshot has %d results, want 2", len(b.Results))
+	}
+}
+
+func TestCompareCleanAndRegressed(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	snapshot(t, rawBase, basePath)
+
+	same := filepath.Join(dir, "same.txt")
+	if err := os.WriteFile(same, []byte(rawBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-baseline", basePath, same}, &sb); err != nil {
+		t.Fatalf("identical run flagged: %v\n%s", err, sb.String())
+	}
+
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte(rawRegressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	err := run([]string{"-baseline", basePath, bad}, &sb)
+	if err == nil {
+		t.Fatalf("alloc regression passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("log does not mark the regression:\n%s", sb.String())
+	}
+}
+
+func TestCompareAcceptsSnapshotAsCurrent(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	curPath := filepath.Join(dir, "cur.json")
+	snapshot(t, rawBase, basePath)
+	snapshot(t, rawRegressed, curPath)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", basePath, curPath}, &sb); err == nil {
+		t.Fatalf("JSON current input not gated:\n%s", sb.String())
+	}
+}
+
+func TestModeFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"x.txt"}, &sb); err == nil {
+		t.Fatal("missing mode flag accepted")
+	}
+	if err := run([]string{"-out", "a", "-baseline", "b"}, &sb); err == nil {
+		t.Fatal("both mode flags accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package repro
+
+// Determinism goldens: the simulator's contract is that a (seed,
+// configuration) pair fully determines a run. The files under testdata/
+// were generated before the zero-alloc kernel/MAC rewrite, so these tests
+// double as the regression proof that pooling, copy-on-write messages, and
+// queue compaction changed only performance, never protocol outcomes.
+//
+// Regenerate (only when an intentional behavior change is made) with:
+//
+//	go test -run Golden -update .
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite determinism golden files")
+
+func fig5QuickCSV(t *testing.T) []byte {
+	t.Helper()
+	opts := harness.QuickOptions()
+	opts.Fields = 1
+	opts.Duration = 20 * time.Second
+	tbl, err := harness.Fig5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestFig5QuickGoldenCSV asserts the quick-preset Figure 5 CSV is
+// byte-identical to the pre-rewrite capture at the same seed.
+func TestFig5QuickGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-preset sweep; skipped with -short")
+	}
+	compareGolden(t, filepath.Join("testdata", "fig5_quick.golden.csv"), fig5QuickCSV(t))
+}
+
+// TestFig5QuickRepeatable asserts two sweeps at the same seed are
+// byte-identical — determinism within a single binary, independent of the
+// committed golden.
+func TestFig5QuickRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick-preset sweep twice; skipped with -short")
+	}
+	a, b := fig5QuickCSV(t), fig5QuickCSV(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical seeds produced different CSVs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// telemetryLines runs one instrumented quick simulation and renders every
+// registry metric as a stable line. Wall-clock gauges (sim_wall_*) are
+// excluded — they measure the host, not the model — as is
+// sim_queue_highwater, which reflects event-queue memory footprint and is
+// intentionally lowered by cancelled-event compaction.
+func telemetryLines(t *testing.T) []byte {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 50
+	cfg.Seed = 7
+	cfg.Duration = 20 * time.Second
+	cfg.Telemetry = &obs.Config{}
+	out, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, m := range out.Telemetry {
+		if strings.HasPrefix(m.Name, "sim_wall") || m.Name == "sim_queue_highwater" {
+			continue
+		}
+		fmt.Fprintf(&b, "%s{%s} %s value=%g max=%g count=%d sum=%g\n",
+			m.Name, m.Labels, m.Kind, m.Value, m.Max, m.Count, m.Sum)
+		for _, bk := range m.Buckets {
+			fmt.Fprintf(&b, "  bucket %g: %d\n", bk.Bound, bk.Count)
+		}
+	}
+	return []byte(b.String())
+}
+
+// TestTelemetryCountersGolden asserts the full instrumented counter set of a
+// seeded run matches the pre-rewrite capture.
+func TestTelemetryCountersGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("instrumented run; skipped with -short")
+	}
+	compareGolden(t, filepath.Join("testdata", "telemetry_quick.golden.txt"), telemetryLines(t))
+}

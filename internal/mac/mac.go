@@ -19,6 +19,14 @@
 //     every powered-on node in range is charged receive power for it
 //     (overhearing and collision victims included) — this is why density is
 //     expensive and why smaller aggregation trees save energy.
+//
+// The implementation is allocation-free in steady state: transmissions are
+// pooled and carry preallocated per-receiver corruption/loss bitsets sized
+// to the field, outbound frames are pooled, contention re-arms through a
+// prebuilt per-node closure, and every delayed MAC step (airtime end, SIFS
+// gaps, ACK timeouts) is dispatched through pooled sim.Runner records
+// instead of fresh closures. Density sweeps spend most of their events
+// here, so per-frame garbage directly caps simulator throughput.
 package mac
 
 import (
@@ -200,6 +208,19 @@ type DropHook func(from, to topology.NodeID, f Frame, reason RxDropReason)
 // ideal unit-disk channel.
 type LinkFilter func(from, to topology.NodeID) bool
 
+// bitset is a fixed-capacity per-node flag set. Transmissions carry two,
+// sized once to the field, so marking a receiver corrupted or link-lost
+// never allocates.
+type bitset []uint64
+
+func (b bitset) has(id topology.NodeID) bool { return b[uint(id)>>6]&(1<<(uint(id)&63)) != 0 }
+func (b bitset) set(id topology.NodeID)      { b[uint(id)>>6] |= 1 << (uint(id) & 63) }
+func (b bitset) clearAll() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
 // Network simulates the shared medium for all nodes of a field.
 type Network struct {
 	kernel *sim.Kernel
@@ -212,6 +233,12 @@ type Network struct {
 	stats  Stats
 	filter LinkFilter
 	drop   DropHook
+
+	// Free lists recycling the per-frame hot-path records.
+	txFree    []*transmission
+	frameFree []*outFrame
+	callFree  []*pendingCall
+	txWords   int // bitset words per transmission, fixed by field size
 }
 
 type nodeState struct {
@@ -224,12 +251,18 @@ type nodeState struct {
 	audible  []*transmission
 	cw       int
 	navUntil time.Duration // virtual carrier sense from overheard RTS/CTS
+
+	// senseFn is the node's prebuilt carrier-sense callback; every
+	// contention wait schedules this same closure instead of capturing a
+	// fresh one per backoff.
+	senseFn sim.Handler
 }
 
 type outFrame struct {
-	to      topology.NodeID
-	frame   Frame
-	retries int
+	to       topology.NodeID
+	frame    Frame
+	retries  int
+	released bool
 }
 
 type txKind int
@@ -241,19 +274,101 @@ const (
 	txCTS
 )
 
+// transmission is one frame in flight. Transmissions are pooled: the
+// corrupted and lost bitsets keep their backing arrays across reuse, and the
+// record doubles as the sim.Runner fired at end of airtime, so putting a
+// frame on the air schedules its completion without a closure.
 type transmission struct {
+	net       *Network
 	from      topology.NodeID
 	to        topology.NodeID // Broadcast or unicast destination
 	frame     Frame
 	kind      txKind
 	nav       time.Duration // medium reservation advertised by RTS/CTS
-	corrupted map[topology.NodeID]bool
-	lost      map[topology.NodeID]bool // receptions vetoed by the link filter
+	corrupted bitset
+	lost      bitset // receptions vetoed by the link filter
+
+	// Completion context, interpreted per kind: owner is the transmitting
+	// node, peer the unicast counterpart an ACK/CTS answers, of the queued
+	// frame the exchange is carrying.
+	owner *nodeState
+	peer  *nodeState
+	of    *outFrame
 }
 
 // lostAt reports whether the link filter vetoed this frame's reception at id.
-func (tx *transmission) lostAt(id topology.NodeID) bool {
-	return tx.lost != nil && tx.lost[id]
+func (tx *transmission) lostAt(id topology.NodeID) bool { return tx.lost.has(id) }
+
+// Run fires at end of airtime: clear the channel, deliver survivors, then
+// continue the exchange the frame belongs to.
+func (tx *transmission) Run() {
+	n := tx.net
+	tx.owner.txActive = false
+	n.end(tx)
+	switch tx.kind {
+	case txData:
+		n.finishData(tx)
+	case txAck:
+		n.finishAck(tx)
+	case txRTS:
+		n.finishRTS(tx)
+	case txCTS:
+		n.finishCTS(tx)
+	}
+	n.releaseTx(tx)
+}
+
+// callOp names the delayed MAC steps a pendingCall can dispatch — the typed
+// callback table that replaces per-step closures.
+type callOp uint8
+
+const (
+	opSendAck      callOp = iota // a=receiver answering, b=data sender
+	opAckTimeout                 // a=sender waiting out the ACK window
+	opSendCTS                    // a=RTS destination, b=RTS sender
+	opDataAfterCTS               // a=sender releasing its data frame
+)
+
+// pendingCall is a pooled sim.Runner for SIFS gaps and timeout waits.
+type pendingCall struct {
+	net  *Network
+	op   callOp
+	a, b *nodeState
+	of   *outFrame
+}
+
+// Run dispatches the recorded step. The record is recycled first so the
+// step itself may schedule follow-up calls.
+func (c *pendingCall) Run() {
+	n := c.net
+	op, a, b, of := c.op, c.a, c.b, c.of
+	c.a, c.b, c.of = nil, nil, nil
+	n.callFree = append(n.callFree, c)
+	switch op {
+	case opSendAck:
+		n.sendAck(a, b, of)
+	case opAckTimeout:
+		n.ackTimeout(a, of)
+	case opSendCTS:
+		n.sendCTS(a, b, of)
+	case opDataAfterCTS:
+		if a.on && len(a.queue) > 0 && a.queue[0] == of {
+			n.transmitData(a, of)
+		}
+	}
+}
+
+// call schedules the delayed step (op, a, b, of) after d.
+func (n *Network) call(d time.Duration, op callOp, a, b *nodeState, of *outFrame) {
+	var c *pendingCall
+	if k := len(n.callFree); k > 0 {
+		c = n.callFree[k-1]
+		n.callFree = n.callFree[:k-1]
+	} else {
+		c = &pendingCall{net: n}
+	}
+	c.op, c.a, c.b, c.of = op, a, b, of
+	n.kernel.ScheduleRunner(d, c)
 }
 
 // New creates a network over field with all nodes on. Receivers start nil;
@@ -266,21 +381,88 @@ func New(kernel *sim.Kernel, field *topology.Field, model energy.Model, params P
 		return nil, err
 	}
 	n := &Network{
-		kernel: kernel,
-		field:  field,
-		params: params,
-		model:  model,
-		rng:    kernel.Rand(),
-		energy: make([]*energy.Meter, field.Len()),
-		nodes:  make([]*nodeState, field.Len()),
+		kernel:  kernel,
+		field:   field,
+		params:  params,
+		model:   model,
+		rng:     kernel.Rand(),
+		energy:  make([]*energy.Meter, field.Len()),
+		nodes:   make([]*nodeState, field.Len()),
+		txWords: (field.Len() + 63) / 64,
 	}
 	n.stats.Drops = make(map[DropReason]int)
 	for i := range n.nodes {
 		n.energy[i] = energy.NewMeter(model)
-		n.nodes[i] = &nodeState{id: topology.NodeID(i), on: true, cw: params.CWMin}
+		ns := &nodeState{id: topology.NodeID(i), on: true, cw: params.CWMin}
+		ns.senseFn = func() { n.senseAndSend(ns) }
+		n.nodes[i] = ns
 	}
 	return n, nil
 }
+
+// --- pooled records ---------------------------------------------------------
+
+func (n *Network) allocTx(kind txKind, owner *nodeState, to topology.NodeID, f Frame) *transmission {
+	var tx *transmission
+	if k := len(n.txFree); k > 0 {
+		tx = n.txFree[k-1]
+		n.txFree = n.txFree[:k-1]
+	} else {
+		tx = &transmission{
+			net:       n,
+			corrupted: make(bitset, n.txWords),
+			lost:      make(bitset, n.txWords),
+		}
+	}
+	tx.kind = kind
+	tx.owner = owner
+	tx.from = owner.id
+	tx.to = to
+	tx.frame = f
+	return tx
+}
+
+// releaseTx recycles a transmission once its airtime has ended and its
+// completion step ran; nothing may hold the record past that point (end()
+// removed it from every audible set, and off nodes clear theirs wholesale).
+func (n *Network) releaseTx(tx *transmission) {
+	tx.corrupted.clearAll()
+	tx.lost.clearAll()
+	tx.frame = Frame{}
+	tx.nav = 0
+	tx.owner, tx.peer, tx.of = nil, nil, nil
+	n.txFree = append(n.txFree, tx)
+}
+
+func (n *Network) allocFrame(to topology.NodeID, f Frame) *outFrame {
+	var of *outFrame
+	if k := len(n.frameFree); k > 0 {
+		of = n.frameFree[k-1]
+		n.frameFree = n.frameFree[:k-1]
+	} else {
+		of = &outFrame{}
+	}
+	of.to = to
+	of.frame = f
+	of.retries = 0
+	of.released = false
+	return of
+}
+
+// releaseFrame recycles a dequeued frame. Frames dropped by a node failure
+// are deliberately NOT recycled: a stale timeout armed before the failure
+// may still reference them, and letting the garbage collector reap those
+// keeps the stale step harmless, exactly as before pooling.
+func (n *Network) releaseFrame(of *outFrame) {
+	if of.released {
+		return
+	}
+	of.released = true
+	of.frame = Frame{}
+	n.frameFree = append(n.frameFree, of)
+}
+
+// --- configuration and introspection ----------------------------------------
 
 // SetReceiver registers the delivery callback for node id.
 func (n *Network) SetReceiver(id topology.NodeID, r Receiver) { n.nodes[id].recv = r }
@@ -294,7 +476,9 @@ func (n *Network) SetLinkFilter(f LinkFilter) { n.filter = f }
 func (n *Network) SetDropHook(h DropHook) { n.drop = h }
 
 // reportDrop invokes the drop hook for a lost data-frame reception at nb,
-// but only when nb was an intended receiver of tx.
+// but only when nb was an intended receiver of tx. Callers on the hot path
+// must check n.drop != nil first so the uninstrumented configuration pays
+// nothing for the classification.
 func (n *Network) reportDrop(tx *transmission, nb topology.NodeID, reason RxDropReason) {
 	if n.drop == nil || tx.kind != txData {
 		return
@@ -371,7 +555,7 @@ func (n *Network) enqueue(from, to topology.NodeID, f Frame) error {
 		n.stats.Drops[DropQueueFull]++
 		return fmt.Errorf("mac: node %d queue full", from)
 	}
-	ns.queue = append(ns.queue, &outFrame{to: to, frame: f})
+	ns.queue = append(ns.queue, n.allocFrame(to, f))
 	if len(ns.queue) > n.stats.QueueMax {
 		n.stats.QueueMax = len(ns.queue)
 	}
@@ -401,7 +585,7 @@ func (n *Network) startContention(ns *nodeState) {
 	n.stats.Backoffs++
 	slots := n.rng.Intn(ns.cw)
 	wait := n.params.DIFS + time.Duration(slots)*n.params.SlotTime
-	n.kernel.Schedule(wait, func() { n.senseAndSend(ns) })
+	n.kernel.Schedule(wait, ns.senseFn)
 }
 
 func (n *Network) senseAndSend(ns *nodeState) {
@@ -413,9 +597,7 @@ func (n *Network) senseAndSend(ns *nodeState) {
 		// Medium busy: back off again with the same window.
 		n.stats.Backoffs++
 		slots := n.rng.Intn(ns.cw) + 1
-		n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, func() {
-			n.senseAndSend(ns)
-		})
+		n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, ns.senseFn)
 		return
 	}
 	of := ns.queue[0]
@@ -433,16 +615,12 @@ func (n *Network) transmit(ns *nodeState, of *outFrame) {
 }
 
 func (n *Network) transmitData(ns *nodeState, of *outFrame) {
-	tx := &transmission{
-		from:      ns.id,
-		to:        of.to,
-		frame:     of.frame,
-		corrupted: make(map[topology.NodeID]bool),
-	}
+	tx := n.allocTx(txData, ns, of.to, of.frame)
+	tx.of = of
 	airtime := n.energy[ns.id].Transmit(of.frame.Bytes)
 	n.stats.DataTx++
 	n.stats.BytesOnAir += int64(of.frame.Bytes)
-	n.begin(ns, tx, airtime, func() { n.finishData(ns, of, tx) })
+	n.begin(ns, tx, airtime)
 }
 
 func (n *Network) rtsBytes() int {
@@ -470,30 +648,30 @@ func (n *Network) exchangeNAV(dataBytes int) time.Duration {
 
 // sendRTS starts the RTS/CTS handshake for the head frame.
 func (n *Network) sendRTS(ns *nodeState, of *outFrame) {
-	rts := &transmission{
-		from:      ns.id,
-		to:        of.to,
-		kind:      txRTS,
-		frame:     Frame{Bytes: n.rtsBytes()},
-		nav:       n.exchangeNAV(of.frame.Bytes),
-		corrupted: make(map[topology.NodeID]bool),
-	}
+	rts := n.allocTx(txRTS, ns, of.to, Frame{Bytes: n.rtsBytes()})
+	rts.of = of
+	rts.nav = n.exchangeNAV(of.frame.Bytes)
 	airtime := n.energy[ns.id].Transmit(rts.frame.Bytes)
 	n.stats.RtsTx++
 	n.stats.BytesOnAir += int64(rts.frame.Bytes)
-	n.begin(ns, rts, airtime, func() {
-		if !ns.on {
-			return
-		}
-		dest := n.nodes[of.to]
-		if dest.on && n.field.InRange(ns.id, of.to) && !rts.corrupted[of.to] && !rts.lostAt(of.to) {
-			n.kernel.Schedule(n.params.SIFS, func() { n.sendCTS(dest, ns, of) })
-			return
-		}
-		// No CTS will come: treat like a missing ACK (cheap collision).
-		timeout := n.params.SIFS + n.model.Airtime(n.ctsBytes()) + n.params.SlotTime
-		n.kernel.Schedule(timeout, func() { n.ackTimeout(ns, of) })
-	})
+	n.begin(ns, rts, airtime)
+}
+
+// finishRTS runs at the end of an RTS's airtime: a decodable RTS draws a
+// CTS after SIFS; otherwise the sender waits out the CTS window and retries
+// like a missing ACK (cheap collision).
+func (n *Network) finishRTS(rts *transmission) {
+	ns, of := rts.owner, rts.of
+	if !ns.on {
+		return
+	}
+	dest := n.nodes[of.to]
+	if dest.on && n.field.InRange(ns.id, of.to) && !rts.corrupted.has(of.to) && !rts.lostAt(of.to) {
+		n.call(n.params.SIFS, opSendCTS, dest, ns, of)
+		return
+	}
+	timeout := n.params.SIFS + n.model.Airtime(n.ctsBytes()) + n.params.SlotTime
+	n.call(timeout, opAckTimeout, ns, nil, of)
 }
 
 // sendCTS answers an RTS and, on success, releases the sender's data frame
@@ -503,85 +681,78 @@ func (n *Network) sendCTS(dest, src *nodeState, of *outFrame) {
 		n.ackTimeout(src, of)
 		return
 	}
-	cts := &transmission{
-		from:      dest.id,
-		to:        src.id,
-		kind:      txCTS,
-		frame:     Frame{Bytes: n.ctsBytes()},
-		nav:       2*n.params.SIFS + n.model.Airtime(of.frame.Bytes) + n.model.Airtime(n.params.AckBytes),
-		corrupted: make(map[topology.NodeID]bool),
-	}
+	cts := n.allocTx(txCTS, dest, src.id, Frame{Bytes: n.ctsBytes()})
+	cts.peer = src
+	cts.of = of
+	cts.nav = 2*n.params.SIFS + n.model.Airtime(of.frame.Bytes) + n.model.Airtime(n.params.AckBytes)
 	airtime := n.energy[dest.id].Transmit(cts.frame.Bytes)
 	n.stats.CtsTx++
 	n.stats.BytesOnAir += int64(cts.frame.Bytes)
-	n.begin(dest, cts, airtime, func() {
-		if !src.on {
-			return
-		}
-		if dest.on && n.field.InRange(dest.id, src.id) && !cts.corrupted[src.id] && !cts.lostAt(src.id) {
-			n.kernel.Schedule(n.params.SIFS, func() {
-				if src.on && len(src.queue) > 0 && src.queue[0] == of {
-					n.transmitData(src, of)
-				}
-			})
-			return
-		}
-		timeout := n.params.SIFS + n.params.SlotTime
-		n.kernel.Schedule(timeout, func() { n.ackTimeout(src, of) })
-	})
+	n.begin(dest, cts, airtime)
+}
+
+// finishCTS runs at the end of a CTS's airtime: a decodable CTS releases
+// the data frame after SIFS; a corrupted one sends the RTS sender to the
+// retry path.
+func (n *Network) finishCTS(cts *transmission) {
+	dest, src, of := cts.owner, cts.peer, cts.of
+	if !src.on {
+		return
+	}
+	if dest.on && n.field.InRange(dest.id, src.id) && !cts.corrupted.has(src.id) && !cts.lostAt(src.id) {
+		n.call(n.params.SIFS, opDataAfterCTS, src, nil, of)
+		return
+	}
+	n.call(n.params.SIFS+n.params.SlotTime, opAckTimeout, src, nil, of)
 }
 
 // begin starts a transmission: marks the sender busy, corrupts overlapping
-// receptions, charges listeners, and schedules the end handler.
-func (n *Network) begin(ns *nodeState, tx *transmission, airtime time.Duration, done func()) {
+// receptions, charges listeners, and schedules the transmission itself as
+// the end-of-airtime event.
+func (n *Network) begin(ns *nodeState, tx *transmission, airtime time.Duration) {
 	ns.txActive = true
 	// Half-duplex: anything the sender was hearing is lost to it.
 	for _, other := range ns.audible {
-		if !other.corrupted[ns.id] {
-			other.corrupted[ns.id] = true
+		if !other.corrupted.has(ns.id) {
+			other.corrupted.set(ns.id)
 			n.stats.Collisions++
 		}
 	}
 	for _, nb := range n.field.Neighbors(ns.id) {
 		rs := n.nodes[nb]
 		if !rs.on {
-			n.reportDrop(tx, nb, RxReceiverOff)
+			if n.drop != nil {
+				n.reportDrop(tx, nb, RxReceiverOff)
+			}
 			continue
 		}
 		// The receiver's radio is captured for the airtime either way.
 		n.energy[nb].Receive(tx.frame.Bytes)
 		if n.filter != nil && !n.filter(ns.id, nb) {
-			if tx.lost == nil {
-				tx.lost = make(map[topology.NodeID]bool)
-			}
-			tx.lost[nb] = true
+			tx.lost.set(nb)
 			n.stats.LinkLoss++
 		}
 		if rs.txActive {
-			tx.corrupted[nb] = true
+			tx.corrupted.set(nb)
 			n.stats.Collisions++
 		}
 		if len(rs.audible) > 0 {
 			// Overlap: this frame and everything already audible at nb are
 			// corrupted at nb.
-			if !tx.corrupted[nb] {
-				tx.corrupted[nb] = true
+			if !tx.corrupted.has(nb) {
+				tx.corrupted.set(nb)
 				n.stats.Collisions++
 			}
 			for _, other := range rs.audible {
-				if !other.corrupted[nb] {
-					other.corrupted[nb] = true
+				if !other.corrupted.has(nb) {
+					other.corrupted.set(nb)
 					n.stats.Collisions++
 				}
 			}
 		}
 		rs.audible = append(rs.audible, tx)
 	}
-	n.kernel.Schedule(airtime, func() {
-		ns.txActive = false
-		n.end(tx)
-		done()
-	})
+	n.kernel.ScheduleRunner(airtime, tx)
 }
 
 // end removes tx from every receiver's audible set and delivers it where it
@@ -601,17 +772,21 @@ func (n *Network) end(tx *transmission) {
 			continue // receiver was off when tx started, or turned off since
 		}
 		rs.audible = append(rs.audible[:idx], rs.audible[idx+1:]...)
-		if !rs.on || senderDied || tx.corrupted[nb] || tx.lostAt(nb) {
-			reason := RxLinkLoss
-			switch {
-			case !rs.on:
-				reason = RxReceiverOff
-			case senderDied:
-				reason = RxSenderOff
-			case tx.corrupted[nb]:
-				reason = RxCollision
+		if !rs.on || senderDied || tx.corrupted.has(nb) || tx.lostAt(nb) {
+			// Classify the loss only when someone is listening; the reason
+			// switch is pure observability.
+			if n.drop != nil {
+				reason := RxLinkLoss
+				switch {
+				case !rs.on:
+					reason = RxReceiverOff
+				case senderDied:
+					reason = RxSenderOff
+				case tx.corrupted.has(nb):
+					reason = RxCollision
+				}
+				n.reportDrop(tx, nb, reason)
 			}
-			n.reportDrop(tx, nb, reason)
 			continue
 		}
 		if tx.kind == txRTS || tx.kind == txCTS {
@@ -622,7 +797,7 @@ func (n *Network) end(tx *transmission) {
 					rs.navUntil = until
 				}
 			}
-			continue // handshake handled by the two parties' callbacks
+			continue // handshake handled by the two parties' completions
 		}
 		if tx.kind == txAck {
 			continue // ACK consumption handled by the waiting sender
@@ -639,7 +814,8 @@ func (n *Network) end(tx *transmission) {
 
 // finishData runs at the end of a data frame's airtime: handle ACKs for
 // unicast, advance the queue for broadcast.
-func (n *Network) finishData(ns *nodeState, of *outFrame, tx *transmission) {
+func (n *Network) finishData(tx *transmission) {
+	ns, of := tx.owner, tx.of
 	if !ns.on {
 		return
 	}
@@ -649,46 +825,47 @@ func (n *Network) finishData(ns *nodeState, of *outFrame, tx *transmission) {
 	}
 	// Unicast: did the destination get it?
 	dest := n.nodes[of.to]
-	gotIt := dest.on && n.field.InRange(ns.id, of.to) && !tx.corrupted[of.to] && !tx.lostAt(of.to)
+	gotIt := dest.on && n.field.InRange(ns.id, of.to) && !tx.corrupted.has(of.to) && !tx.lostAt(of.to)
 	if gotIt {
 		// Destination sends an ACK after SIFS, bypassing contention.
-		n.kernel.Schedule(n.params.SIFS, func() { n.sendAck(dest, ns, of) })
+		n.call(n.params.SIFS, opSendAck, dest, ns, of)
 		return
 	}
 	// No ACK will come; wait out the ACK window before retrying.
 	timeout := n.params.SIFS + n.model.Airtime(n.params.AckBytes) + n.params.SlotTime
-	n.kernel.Schedule(timeout, func() { n.ackTimeout(ns, of) })
+	n.call(timeout, opAckTimeout, ns, nil, of)
 }
 
-// sendAck transmits the ACK frame from dest back to src and, if it survives,
-// completes src's pending frame.
+// sendAck transmits the ACK frame from dest back to src; finishAck
+// completes src's pending frame if the ACK survives.
 func (n *Network) sendAck(dest, src *nodeState, of *outFrame) {
 	if !dest.on {
 		n.ackTimeout(src, of)
 		return
 	}
-	ackTx := &transmission{
-		from:      dest.id,
-		to:        src.id,
-		kind:      txAck,
-		frame:     Frame{Bytes: n.params.AckBytes},
-		corrupted: make(map[topology.NodeID]bool),
-	}
+	ackTx := n.allocTx(txAck, dest, src.id, Frame{Bytes: n.params.AckBytes})
+	ackTx.peer = src
+	ackTx.of = of
 	airtime := n.energy[dest.id].Transmit(n.params.AckBytes)
 	n.stats.AckTx++
 	n.stats.BytesOnAir += int64(n.params.AckBytes)
-	n.begin(dest, ackTx, airtime, func() {
-		if !src.on {
-			return
-		}
-		if dest.on && n.field.InRange(dest.id, src.id) && !ackTx.corrupted[src.id] && !ackTx.lostAt(src.id) {
-			// ACK received: success.
-			src.cw = n.params.CWMin
-			n.dequeueAndContinue(src)
-			return
-		}
-		n.ackTimeout(src, of)
-	})
+	n.begin(dest, ackTx, airtime)
+}
+
+// finishAck runs at the end of an ACK's airtime: a decodable ACK completes
+// the sender's frame; anything else sends it to the retry path.
+func (n *Network) finishAck(ack *transmission) {
+	dest, src, of := ack.owner, ack.peer, ack.of
+	if !src.on {
+		return
+	}
+	if dest.on && n.field.InRange(dest.id, src.id) && !ack.corrupted.has(src.id) && !ack.lostAt(src.id) {
+		// ACK received: success.
+		src.cw = n.params.CWMin
+		n.dequeueAndContinue(src)
+		return
+	}
+	n.ackTimeout(src, of)
 }
 
 // ackTimeout handles a missing ACK: retry with a doubled window or drop.
@@ -708,16 +885,19 @@ func (n *Network) ackTimeout(ns *nodeState, of *outFrame) {
 	ns.sending = true
 	n.stats.Backoffs++
 	slots := n.rng.Intn(ns.cw) + 1
-	n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, func() {
-		n.senseAndSend(ns)
-	})
+	n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, ns.senseFn)
 }
 
 // dequeueAndContinue pops the completed head frame and starts contention for
-// the next one, if any.
+// the next one, if any. The head slot is shifted out rather than re-sliced
+// so the queue's backing array is reused for the life of the node.
 func (n *Network) dequeueAndContinue(ns *nodeState) {
-	if len(ns.queue) > 0 {
-		ns.queue = ns.queue[1:]
+	if k := len(ns.queue); k > 0 {
+		head := ns.queue[0]
+		copy(ns.queue, ns.queue[1:])
+		ns.queue[k-1] = nil
+		ns.queue = ns.queue[:k-1]
+		n.releaseFrame(head)
 	}
 	ns.sending = false
 	if len(ns.queue) > 0 {

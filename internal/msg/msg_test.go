@@ -2,6 +2,8 @@ package msg
 
 import (
 	"testing"
+
+	"repro/internal/topology"
 )
 
 func TestKindString(t *testing.T) {
@@ -37,16 +39,63 @@ func TestPaperSizes(t *testing.T) {
 	}
 }
 
-func TestCloneIsDeep(t *testing.T) {
+func TestCloneIsCopyOnWrite(t *testing.T) {
+	m := Message{
+		Kind:  KindData,
+		Items: []Item{{Source: 1, Seq: 2}, {Source: 3, Seq: 4}},
+		Bytes: EventBytes,
+		E:     7,
+	}
+	c := m.Clone()
+	c.E = 99
+	c.W = 5
+	if m.E != 7 || m.W != 0 {
+		t.Fatal("Clone shares scalar fields")
+	}
+	if &c.Items[0] != &m.Items[0] {
+		t.Fatal("Clone should share the Items backing array (copy-on-write)")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c = m.Clone()
+		c.E++
+	})
+	if allocs != 0 {
+		t.Fatalf("cost-only clone allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestCloneDeepIsDeep(t *testing.T) {
 	m := Message{
 		Kind:  KindData,
 		Items: []Item{{Source: 1, Seq: 2}, {Source: 3, Seq: 4}},
 		Bytes: EventBytes,
 	}
-	c := m.Clone()
+	c := m.CloneDeep()
 	c.Items[0].Seq = 99
 	if m.Items[0].Seq != 2 {
-		t.Fatal("Clone shares the Items slice")
+		t.Fatal("CloneDeep shares the Items slice")
+	}
+}
+
+func TestDistinctSourcesReusesBuffer(t *testing.T) {
+	m := Message{Items: []Item{
+		{Source: 5, Seq: 1}, {Source: 2, Seq: 1}, {Source: 5, Seq: 2}, {Source: 2, Seq: 9},
+	}}
+	buf := make([]topology.NodeID, 0, 8)
+	got := m.DistinctSources(buf)
+	if len(got) != 2 || got[0] != 5 || got[1] != 2 {
+		t.Fatalf("DistinctSources = %v, want [5 2]", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = m.DistinctSources(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("scratch-buffer DistinctSources allocates %.1f objects/op, want 0", allocs)
+	}
+	// Appending after existing elements must not dedup against them.
+	pre := []topology.NodeID{5}
+	if got := m.DistinctSources(pre); len(got) != 3 || got[1] != 5 || got[2] != 2 {
+		t.Fatalf("DistinctSources with prefix = %v, want [5 5 2]", got)
 	}
 }
 

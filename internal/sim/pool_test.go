@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCompactionAfterMassCancellation is the regression test for cancelled
+// events pinning queue slots: before compaction existed, a Stop'd timer sat
+// in the queue until its deadline, so a burst of cancellations kept the
+// queue (and its high-water mark) inflated. Now cancelling past the 50%
+// mark compacts immediately and recycles the records.
+func TestCompactionAfterMassCancellation(t *testing.T) {
+	k := NewKernel(1)
+	const total = 1000
+	timers := make([]Timer, total)
+	for i := range timers {
+		timers[i] = k.Schedule(Time(i+1)*time.Millisecond, func() {})
+	}
+	if k.QueueHighWater() != total {
+		t.Fatalf("high water = %d, want %d", k.QueueHighWater(), total)
+	}
+	cancelled := 0
+	for i := range timers {
+		if i%5 != 0 { // cancel 80%
+			timers[i].Stop()
+			cancelled++
+		}
+	}
+	live := total - cancelled
+	// The queue must have dropped well below the cancellation count without
+	// any virtual time passing; only a compaction pass can do that.
+	if p := k.Pending(); p >= total/2 {
+		t.Fatalf("pending = %d after mass cancellation, want < %d (compaction)", p, total/2)
+	}
+	if p := k.Pending(); p < live {
+		t.Fatalf("pending = %d, want >= %d live events", p, live)
+	}
+	// Recycled slots must absorb a fresh batch: scheduling another half-load
+	// stays under the old peak instead of growing the queue past it.
+	for i := 0; i < total/2; i++ {
+		k.Schedule(Time(i+1)*time.Second, func() {})
+	}
+	if k.QueueHighWater() != total {
+		t.Fatalf("high water grew to %d after refill, want to stay %d", k.QueueHighWater(), total)
+	}
+	// Every surviving event still fires exactly once.
+	fired := 0
+	for k.Step() {
+		fired++
+	}
+	if fired != live+total/2 {
+		t.Fatalf("fired %d events, want %d", fired, live+total/2)
+	}
+}
+
+// TestTimerGenerationSafety pins the generation-counted handle contract: a
+// Timer whose record has been recycled must become an inert no-op rather
+// than cancelling the record's new occupant.
+func TestTimerGenerationSafety(t *testing.T) {
+	k := NewKernel(1)
+	old := k.Schedule(time.Millisecond, func() {})
+	k.Run(2 * time.Millisecond) // fires; record returns to the free list
+	if old.Active() {
+		t.Fatal("fired timer reports active")
+	}
+
+	next := k.Schedule(time.Millisecond, func() {}) // recycles the record
+	if next.idx != old.idx {
+		t.Fatalf("expected record reuse (old idx %d, new idx %d)", old.idx, next.idx)
+	}
+	if old.Stop() {
+		t.Fatal("stale handle cancelled the recycled record's new event")
+	}
+	if !next.Active() {
+		t.Fatal("new timer must stay active after a stale Stop")
+	}
+	fired := false
+	k.Schedule(0, func() {})
+	next.Stop()
+	reused := k.Schedule(time.Millisecond, func() { fired = true })
+	k.Run(time.Second)
+	if !fired {
+		t.Fatal("event scheduled into a cancelled-then-recycled record did not fire")
+	}
+	_ = reused
+}
+
+// TestZeroAllocSteadyState verifies the headline property of the pooled
+// kernel: once the arena is warm, a schedule→fire cycle allocates nothing.
+func TestZeroAllocSteadyState(t *testing.T) {
+	k := NewKernel(1)
+	tick := func() {}
+	// Warm the arena and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		k.Schedule(Time(i)*time.Microsecond, tick)
+	}
+	k.Run(k.Now() + time.Millisecond)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Schedule(time.Microsecond, tick)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPoolPlateaus checks the arena is bounded by peak concurrency, not by
+// total event count.
+func TestPoolPlateaus(t *testing.T) {
+	k := NewKernel(1)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 10; i++ {
+			k.Schedule(Time(i)*time.Microsecond, func() {})
+		}
+		k.Run(k.Now() + time.Millisecond)
+	}
+	if k.PoolSize() > k.QueueHighWater() {
+		t.Fatalf("pool grew to %d records with high water %d", k.PoolSize(), k.QueueHighWater())
+	}
+	if k.Processed() != 1000 {
+		t.Fatalf("processed %d, want 1000", k.Processed())
+	}
+}
+
+type countingRunner struct{ n int }
+
+func (r *countingRunner) Run() { r.n++ }
+
+// TestScheduleRunner exercises the closure-free scheduling path.
+func TestScheduleRunner(t *testing.T) {
+	k := NewKernel(1)
+	r := &countingRunner{}
+	tm := k.ScheduleRunner(time.Millisecond, r)
+	if !tm.Active() {
+		t.Fatal("runner timer should be active")
+	}
+	k.ScheduleRunner(2*time.Millisecond, r)
+	k.Run(time.Second)
+	if r.n != 2 {
+		t.Fatalf("runner fired %d times, want 2", r.n)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after a runner fired should be false")
+	}
+
+	// A runner timer cancels like a handler timer.
+	tm2 := k.ScheduleRunner(time.Millisecond, r)
+	if !tm2.Stop() {
+		t.Fatal("Stop should cancel a pending runner")
+	}
+	k.Run(k.Now() + time.Second)
+	if r.n != 2 {
+		t.Fatalf("cancelled runner fired (n=%d)", r.n)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil runner")
+		}
+	}()
+	k.ScheduleRunner(time.Millisecond, nil)
+}

@@ -5,10 +5,18 @@
 // in the order they were scheduled, which makes runs bit-for-bit reproducible
 // for a fixed seed. All simulation randomness should flow from the kernel's
 // RNG so that a (seed, configuration) pair fully determines a run.
+//
+// The event queue is built for allocation-free steady state: event records
+// live in a pooled arena recycled through a free list, the priority queue is
+// a concrete inlined 4-ary min-heap of arena indexes (no interface boxing,
+// no per-Schedule heap allocation once the arena is warm), and Timer handles
+// are generation-counted so Stop and Active stay safe after a record is
+// recycled. Cancelled events are compacted out of the heap lazily once they
+// outnumber live ones, so mass cancellation cannot pin queue memory until
+// the dead deadlines drain.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -23,78 +31,83 @@ type Time = time.Duration
 // Handler is a callback invoked when a scheduled event fires.
 type Handler func()
 
+// Runner is the interface-based alternative to Handler for hot paths:
+// a long-lived (typically pooled) object schedules itself and the kernel
+// calls Run at the deadline. Storing an already-heap-allocated pointer in
+// the event record avoids the closure allocation a Handler capture costs.
+type Runner interface {
+	Run()
+}
+
+// event is one pooled event record. Records are recycled through the
+// kernel's free list; gen increments on every recycle so stale Timer
+// handles can never act on a successor event.
+type event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among same-time events
+	fn     Handler
+	runner Runner
+	gen    uint32
+	state  uint8
+}
+
+// Event record states.
+const (
+	evFree uint8 = iota
+	evPending
+	evCancelled // Stop'd but not yet compacted or drained from the heap
+)
+
 // Timer is a handle to a scheduled event. Its zero value is invalid; timers
-// are obtained from Kernel.Schedule and friends.
+// are obtained from Kernel.Schedule and friends. Handles are generation-
+// counted: once the underlying pooled record fires or is cancelled and gets
+// recycled, old handles observe a generation mismatch and become no-ops.
 type Timer struct {
-	ev *event
+	k   *Kernel
+	idx int32
+	gen uint32
 }
 
 // Stop cancels the timer if it has not fired yet. It reports whether the
 // cancellation prevented the event from firing. Stopping an already-fired or
 // already-stopped timer is a harmless no-op returning false.
 func (t Timer) Stop() bool {
-	if t.ev == nil || t.ev.cancelled || t.ev.fired {
+	if t.k == nil {
 		return false
 	}
-	t.ev.cancelled = true
+	ev := &t.k.pool[t.idx]
+	if ev.gen != t.gen || ev.state != evPending {
+		return false
+	}
+	ev.state = evCancelled
+	ev.fn = nil
+	ev.runner = nil
+	t.k.cancelled++
+	t.k.maybeCompact()
 	return true
 }
 
 // Active reports whether the timer is still pending.
 func (t Timer) Active() bool {
-	return t.ev != nil && !t.ev.cancelled && !t.ev.fired
-}
-
-type event struct {
-	at        Time
-	seq       uint64 // tie-break: FIFO among same-time events
-	fn        Handler
-	cancelled bool
-	fired     bool
-	index     int // heap index
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	if t.k == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	ev := &t.k.pool[t.idx]
+	return ev.gen == t.gen && ev.state == evPending
 }
 
 // Kernel is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; a simulation run lives on one goroutine by design.
 type Kernel struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	rng     *rand.Rand
-	running bool
-	stopped bool
+	now       Time
+	heap      []int32 // 4-ary min-heap of pool indexes, ordered by (at, seq)
+	pool      []event
+	free      []int32
+	cancelled int // cancelled records still sitting in the heap
+	seq       uint64
+	rng       *rand.Rand
+	running   bool
+	stopped   bool
 
 	// Processed counts events that have fired since construction; maxQueue
 	// is the queue-depth high-water mark over the kernel's lifetime.
@@ -118,12 +131,17 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of events still queued (including cancelled
-// events not yet drained).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// events not yet compacted or drained).
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // QueueHighWater returns the largest queue depth ever reached — a telemetry
 // signal for event-storm diagnosis and memory sizing.
 func (k *Kernel) QueueHighWater() int { return k.maxQueue }
+
+// PoolSize returns the number of event records in the arena, recycled and
+// live — a memory-footprint signal: a steady-state run should see it
+// plateau at the queue high-water mark rather than grow with event count.
+func (k *Kernel) PoolSize() int { return len(k.pool) }
 
 // ErrNegativeDelay is returned (via panic recovery in tests) when scheduling
 // into the past is attempted.
@@ -134,27 +152,80 @@ var ErrNegativeDelay = errors.New("sim: negative delay")
 // instant. Negative delays panic: they indicate a model bug, not a runtime
 // condition a caller could handle.
 func (k *Kernel) Schedule(delay Time, fn Handler) Timer {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	return k.schedule(delay, fn, nil)
+}
+
+// ScheduleRunner is Schedule for pooled objects: r.Run fires at the
+// deadline. Because r is stored directly in the event record, scheduling
+// allocates nothing when r is a long-lived pointer — the hot-path contract
+// the MAC's transmission objects rely on.
+func (k *Kernel) ScheduleRunner(delay Time, r Runner) Timer {
+	if r == nil {
+		panic("sim: nil runner")
+	}
+	return k.schedule(delay, nil, r)
+}
+
+func (k *Kernel) schedule(delay Time, fn Handler, r Runner) Timer {
 	if delay < 0 {
 		panic(fmt.Errorf("%w: %v", ErrNegativeDelay, delay))
 	}
-	return k.At(k.now+delay, fn)
+	return k.at(k.now+delay, fn, r)
 }
 
 // At runs fn at the absolute virtual time at. Times in the past panic.
 func (k *Kernel) At(at Time, fn Handler) Timer {
-	if at < k.now {
-		panic(fmt.Errorf("%w: at=%v now=%v", ErrNegativeDelay, at, k.now))
-	}
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, ev)
-	if len(k.queue) > k.maxQueue {
-		k.maxQueue = len(k.queue)
+	return k.at(at, fn, nil)
+}
+
+func (k *Kernel) at(at Time, fn Handler, r Runner) Timer {
+	if at < k.now {
+		panic(fmt.Errorf("%w: at=%v now=%v", ErrNegativeDelay, at, k.now))
 	}
-	return Timer{ev: ev}
+	idx := k.alloc()
+	ev := &k.pool[idx]
+	ev.at = at
+	ev.seq = k.seq
+	ev.fn = fn
+	ev.runner = r
+	ev.state = evPending
+	k.seq++
+	k.heap = append(k.heap, idx)
+	k.siftUp(len(k.heap) - 1)
+	if len(k.heap) > k.maxQueue {
+		k.maxQueue = len(k.heap)
+	}
+	return Timer{k: k, idx: idx, gen: ev.gen}
+}
+
+// alloc hands out an event record, recycling the free list before growing
+// the arena.
+func (k *Kernel) alloc() int32 {
+	if n := len(k.free); n > 0 {
+		idx := k.free[n-1]
+		k.free = k.free[:n-1]
+		return idx
+	}
+	k.pool = append(k.pool, event{})
+	return int32(len(k.pool) - 1)
+}
+
+// release recycles a record. The generation bump invalidates every Timer
+// handle still pointing at it; clearing the callbacks drops any captured
+// references so fired closures do not outlive their deadline.
+func (k *Kernel) release(idx int32) {
+	ev := &k.pool[idx]
+	ev.fn = nil
+	ev.runner = nil
+	ev.state = evFree
+	ev.gen++
+	k.free = append(k.free, idx)
 }
 
 // Stop makes Run return after the currently firing event completes.
@@ -173,20 +244,29 @@ func (k *Kernel) Run(horizon Time) Time {
 	k.stopped = false
 	defer func() { k.running = false }()
 
-	for len(k.queue) > 0 && !k.stopped {
-		ev := k.queue[0]
+	for len(k.heap) > 0 && !k.stopped {
+		idx := k.heap[0]
+		ev := &k.pool[idx]
 		if ev.at > horizon {
 			k.now = horizon
 			return k.now
 		}
-		heap.Pop(&k.queue)
-		if ev.cancelled {
+		if ev.state == evCancelled {
+			k.popHead()
+			k.cancelled--
+			k.release(idx)
 			continue
 		}
 		k.now = ev.at
-		ev.fired = true
+		fn, r := ev.fn, ev.runner
+		k.popHead()
+		k.release(idx)
 		k.processed++
-		ev.fn()
+		if fn != nil {
+			fn()
+		} else {
+			r.Run()
+		}
 	}
 	if k.now < horizon && !k.stopped {
 		k.now = horizon
@@ -197,16 +277,129 @@ func (k *Kernel) Run(horizon Time) Time {
 // Step fires exactly one pending (non-cancelled) event and reports whether
 // one fired. It is mainly useful in tests that want to single-step a model.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*event)
-		if ev.cancelled {
+	for len(k.heap) > 0 {
+		idx := k.heap[0]
+		ev := &k.pool[idx]
+		if ev.state == evCancelled {
+			k.popHead()
+			k.cancelled--
+			k.release(idx)
 			continue
 		}
 		k.now = ev.at
-		ev.fired = true
+		fn, r := ev.fn, ev.runner
+		k.popHead()
+		k.release(idx)
 		k.processed++
-		ev.fn()
+		if fn != nil {
+			fn()
+		} else {
+			r.Run()
+		}
 		return true
 	}
 	return false
+}
+
+// --- 4-ary min-heap over (at, seq) ------------------------------------------
+//
+// A 4-ary layout halves the tree depth of a binary heap, trading a few extra
+// comparisons per level for far fewer cache-missing hops — the standard
+// discrete-event-simulation tuning. Ordering by (at, seq) is a total order,
+// so heap shape never influences pop order and determinism is structural.
+
+// evLess orders pool records a before b.
+func (k *Kernel) evLess(a, b int32) bool {
+	ea, eb := &k.pool[a], &k.pool[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	x := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !k.evLess(x, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = x
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	x := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if k.evLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !k.evLess(h[m], x) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = x
+}
+
+// popHead removes the minimum heap entry (without releasing its record).
+func (k *Kernel) popHead() {
+	n := len(k.heap) - 1
+	k.heap[0] = k.heap[n]
+	k.heap = k.heap[:n]
+	if n > 1 {
+		k.siftDown(0)
+	}
+}
+
+// compactMinQueue is the queue depth below which compaction is never
+// worth the rebuild; tiny queues drain their cancelled entries naturally.
+const compactMinQueue = 64
+
+// maybeCompact rebuilds the heap without its cancelled entries once they
+// outnumber the live ones. Called from Timer.Stop, so a mass-cancellation
+// burst frees its queue slots (and recycles its records) immediately
+// instead of pinning them until their deadlines pass.
+func (k *Kernel) maybeCompact() {
+	if len(k.heap) >= compactMinQueue && k.cancelled*2 > len(k.heap) {
+		k.compact()
+	}
+}
+
+func (k *Kernel) compact() {
+	live := k.heap[:0]
+	for _, idx := range k.heap {
+		if k.pool[idx].state == evCancelled {
+			k.release(idx)
+		} else {
+			live = append(live, idx)
+		}
+	}
+	k.heap = live
+	k.cancelled = 0
+	if len(k.heap) < 2 {
+		return
+	}
+	// Floyd heapify: sift down from the last parent. Cheaper than n sifts
+	// and order-independent thanks to the (at, seq) total order.
+	for i := (len(k.heap) - 2) / 4; i >= 0; i-- {
+		k.siftDown(i)
+	}
 }
