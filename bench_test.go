@@ -147,6 +147,29 @@ func BenchmarkSingleRun350(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleSweep measures the new scale figure's unit of work: both
+// schemes at 500 nodes with the field grown to hold the paper's middle
+// density (the first rung of `experiments -fig scale`).
+func BenchmarkScaleSweep(b *testing.B) {
+	opts := harness.Options{
+		Fields:   1,
+		Duration: 30 * time.Second,
+		Nodes:    harness.ScaleNodesQuick,
+	}
+	var tbl *harness.ScaleTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = harness.Scale(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if eps := tbl.Meta.EventsPerSec(); eps > 0 {
+		b.ReportMetric(eps, "events/s")
+	}
+	b.ReportMetric(float64(tbl.Rows[0].PeakHeapBytes)/(1<<20), "peak-heap-MB")
+}
+
 // --- substrate micro-benchmarks ---------------------------------------------
 
 // BenchmarkKernelSchedule measures raw event throughput of the

@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -52,16 +54,44 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", `figure to regenerate: 5..10, "git-spt", "lifetime", "chaos", an ablation name, or "all"`)
-		fields   = fs.Int("fields", 0, "random fields per data point (default: paper's 10, or 3 with -quick)")
-		duration = fs.Duration("duration", 0, "simulated seconds per run (default 160s, 60s with -quick)")
-		quick    = fs.Bool("quick", false, "reduced preset: 3 fields, 60 s, 3 densities")
-		outDir   = fs.String("out", "", "directory for CSV output (created if missing)")
-		plots    = fs.Bool("plot", false, "also draw each panel as an ASCII chart")
-		progress = fs.Bool("progress", false, "log each completed run to stderr")
+		fig        = fs.String("fig", "all", `figure to regenerate: 5..10, "git-spt", "lifetime", "chaos", "scale", an ablation name, or "all" (scale excluded: run it explicitly)`)
+		fields     = fs.Int("fields", 0, "random fields per data point (default: paper's 10, or 3 with -quick)")
+		duration   = fs.Duration("duration", 0, "simulated seconds per run (default 160s, 60s with -quick)")
+		quick      = fs.Bool("quick", false, "reduced preset: 3 fields, 60 s, 3 densities (scale: 500 nodes only)")
+		outDir     = fs.String("out", "", "directory for CSV output (created if missing)")
+		plots      = fs.Bool("plot", false, "also draw each panel as an ASCII chart")
+		progress   = fs.Bool("progress", false, "log each completed run to stderr")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an allocation heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
 	}
 
 	opts := harness.DefaultOptions()
@@ -121,6 +151,7 @@ func run(args []string, out io.Writer) error {
 
 	if *fig == "all" || *fig == "git-spt" {
 		ran++
+		t0 := time.Now()
 		tbl, err := harness.GitSpt(opts)
 		if err != nil {
 			return fmt.Errorf("git-spt: %w", err)
@@ -128,16 +159,39 @@ func run(args []string, out io.Writer) error {
 		if err := tbl.Render(out); err != nil {
 			return err
 		}
+		fmt.Fprintf(out, "(git-spt regenerated in %v, %d kernel events, %.0f events/s)\n\n",
+			time.Since(t0).Round(time.Second), tbl.Meta.Events, tbl.Meta.EventsPerSec())
+		if csvDir != "" {
+			if err := writeCSV(csvDir, "figgitspt.csv", tbl.CSV); err != nil {
+				return err
+			}
+			if err := tbl.Manifest().Write(
+				filepath.Join(csvDir, "figgitspt.manifest.json")); err != nil {
+				return err
+			}
+		}
 	}
 
 	if *fig == "all" || *fig == "lifetime" {
 		ran++
+		t0 := time.Now()
 		tbl, err := harness.LifetimeStudy(opts)
 		if err != nil {
 			return fmt.Errorf("lifetime: %w", err)
 		}
 		if err := tbl.Render(out); err != nil {
 			return err
+		}
+		fmt.Fprintf(out, "(lifetime regenerated in %v, %d kernel events, %.0f events/s)\n\n",
+			time.Since(t0).Round(time.Second), tbl.Meta.Events, tbl.Meta.EventsPerSec())
+		if csvDir != "" {
+			if err := writeCSV(csvDir, "figlifetime.csv", tbl.CSV); err != nil {
+				return err
+			}
+			if err := tbl.Manifest().Write(
+				filepath.Join(csvDir, "figlifetime.manifest.json")); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -167,12 +221,42 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// The scale sweep runs thousands-of-nodes fields and is deliberately not
+	// part of "all"; ask for it by name.
+	if *fig == "scale" {
+		ran++
+		t0 := time.Now()
+		scaleOpts := opts
+		scaleOpts.Nodes = harness.ScaleNodes
+		if *quick {
+			scaleOpts.Nodes = harness.ScaleNodesQuick
+		}
+		tbl, err := harness.Scale(scaleOpts)
+		if err != nil {
+			return fmt.Errorf("scale: %w", err)
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(scale regenerated in %v, %d kernel events, %.0f events/s)\n\n",
+			time.Since(t0).Round(time.Second), tbl.Meta.Events, tbl.Meta.EventsPerSec())
+		if csvDir != "" {
+			if err := writeCSV(csvDir, "figscale.csv", tbl.CSV); err != nil {
+				return err
+			}
+			if err := tbl.Manifest().Write(
+				filepath.Join(csvDir, "figscale.manifest.json")); err != nil {
+				return err
+			}
+		}
+	}
+
 	if ran == 0 {
 		names := make([]string, 0, len(figures)+1)
 		for _, f := range figures {
 			names = append(names, f.name)
 		}
-		names = append(names, "git-spt", "lifetime", "chaos")
+		names = append(names, "git-spt", "lifetime", "chaos", "scale")
 		return fmt.Errorf("unknown figure %q (have: %s, all)", *fig, strings.Join(names, ", "))
 	}
 	fmt.Fprintf(out, "total: %d table(s) in %v\n", ran, time.Since(start).Round(time.Second))

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite determinism golden files")
@@ -123,4 +124,51 @@ func TestTelemetryCountersGolden(t *testing.T) {
 		t.Skip("instrumented run; skipped with -short")
 	}
 	compareGolden(t, filepath.Join("testdata", "telemetry_quick.golden.txt"), telemetryLines(t))
+}
+
+// ndjsonTrace runs one mid-size instrumented simulation with an NDJSON
+// tracer attached and returns the raw trace bytes. The paper's middle
+// density over a full minute drives every hot path the ordered-table layer
+// rewrote: exploratory floods and gradient reinforcement, truncation
+// (negative reinforcement), incremental-cost fan-out, and periodic
+// snapshots walking the tables in iteration order.
+func ndjsonTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	nd := trace.NewNDJSON(&buf)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 11
+	cfg.Duration = 60 * time.Second
+	cfg.Tracer = nd
+	cfg.Telemetry = &obs.Config{SnapshotEvery: 15 * time.Second}
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	return buf.Bytes()
+}
+
+// TestNDJSONTraceRepeatable asserts that two identically-seeded mid-size
+// runs emit byte-identical NDJSON traces — the strictest determinism check
+// we have, since the trace serializes every protocol send, receive, drop,
+// and snapshot in order.
+func TestNDJSONTraceRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two mid-size instrumented runs; skipped with -short")
+	}
+	a, b := ndjsonTrace(t), ndjsonTrace(t)
+	if !bytes.Equal(a, b) {
+		al, bl := strings.Split(string(a), "\n"), strings.Split(string(b), "\n")
+		for i := range al {
+			if i >= len(bl) || al[i] != bl[i] {
+				t.Fatalf("traces diverge at line %d:\n run A: %s\n run B: %s", i+1, al[i], bl[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: %d vs %d bytes", len(a), len(b))
+	}
 }

@@ -23,6 +23,7 @@ type contribution struct {
 type pendingBuffer struct {
 	contribs []contribution
 	timer    sim.Timer
+	rec      *nodeTimer
 	armed    bool
 }
 
@@ -31,19 +32,33 @@ type pendingBuffer struct {
 func (n *node) onData(from topology.NodeID, m msg.Message) {
 	st := n.state(m.Interest)
 	now := n.now()
-	st.lastDataFrom[from] = now
+	st.lastDataFrom.put(from, now)
 
-	var newItems []msg.Item
+	fresh := 0
 	for _, it := range m.Items {
 		if _, dup := st.dataCache[it.Key()]; !dup {
-			newItems = append(newItems, it)
+			fresh++
 		}
-		st.srcSeen[it.Source] = now
+		st.srcSeen.put(it.Source, now)
+	}
+	// Message payloads are immutable once sent, so the fully-fresh common
+	// case shares the incoming slice instead of copying it.
+	var newItems []msg.Item
+	switch {
+	case fresh == len(m.Items):
+		newItems = m.Items
+	case fresh > 0:
+		newItems = make([]msg.Item, 0, fresh)
+		for _, it := range m.Items {
+			if _, dup := st.dataCache[it.Key()]; !dup {
+				newItems = append(newItems, it)
+			}
+		}
 	}
 
 	st.window = append(st.window, ReceivedAgg{
 		From:     from,
-		Items:    append([]msg.Item(nil), m.Items...),
+		Items:    m.Items,
 		W:        m.W,
 		NewItems: newItems,
 	})
@@ -52,7 +67,7 @@ func (n *node) onData(from topology.NodeID, m msg.Message) {
 		n.deliver(st, m.Items, newItems)
 		return
 	}
-	if len(newItems) == 0 {
+	if fresh == 0 {
 		return // pure duplicate: the cache absorbs it (loop prevention)
 	}
 	for _, it := range newItems {
@@ -62,15 +77,18 @@ func (n *node) onData(from topology.NodeID, m msg.Message) {
 }
 
 // activeSources returns the sources whose items this node has seen recently
-// (within twice the truncation window), in ascending order.
+// (within twice the truncation window), in ascending order. The slice is the
+// runtime's shared scratch buffer: valid until the next call, never retained.
 func (n *node) activeSources(st *interestState) []topology.NodeID {
 	cutoff := n.now() - 2*n.rt.params.NegReinforceWindow
-	var out []topology.NodeID
-	for _, src := range sortedNeighborIDs(st.srcSeen) {
-		if st.srcSeen[src] >= cutoff {
-			out = append(out, src)
+	out := n.rt.sc.sources[:0]
+	for i := range st.srcSeen.es {
+		e := &st.srcSeen.es[i]
+		if e.at >= cutoff {
+			out = append(out, e.id)
 		}
 	}
+	n.rt.sc.sources = out
 	return out
 }
 
@@ -91,8 +109,7 @@ func (n *node) addPending(st *interestState, c contribution) {
 
 	if st.pending.armed {
 		if n.sufficientForFlush(st) {
-			st.pending.timer.Stop()
-			st.pending.armed = false
+			n.disarmFlush(st)
 			n.flush(st)
 		}
 		return
@@ -102,13 +119,7 @@ func (n *node) addPending(st *interestState, c contribution) {
 	if n.isAggregationPoint(st) && !n.sufficientForFlush(st) {
 		delay = n.rt.params.AggregationDelay
 	}
-	st.pending.armed = true
-	st.pending.timer = n.scheduleEpoch(delay, func() {
-		st.pending.armed = false
-		if n.on() {
-			n.flush(st)
-		}
-	})
+	n.armFlush(delay, st)
 }
 
 // sufficientForFlush reports whether the pending buffer already holds items
@@ -118,7 +129,13 @@ func (n *node) sufficientForFlush(st *interestState) bool {
 	if len(active) < 2 {
 		return true
 	}
-	have := make(map[topology.NodeID]bool)
+	have := n.rt.sc.have
+	if have == nil {
+		have = make(map[topology.NodeID]bool)
+		n.rt.sc.have = have
+	} else {
+		clear(have)
+	}
 	for _, c := range st.pending.contribs {
 		for _, it := range c.newItems {
 			have[it.Source] = true
@@ -138,13 +155,25 @@ func (n *node) sufficientForFlush(st *interestState) bool {
 // for our own transmission (§4.2).
 func (n *node) flush(st *interestState) {
 	contribs := st.pending.contribs
-	st.pending.contribs = nil
+	st.pending.contribs = st.pending.contribs[:0]
 	if len(contribs) == 0 {
 		return
 	}
 
-	seen := make(map[msg.ItemKey]bool)
-	var items []msg.Item
+	seen := n.rt.sc.seen
+	if seen == nil {
+		seen = make(map[msg.ItemKey]bool)
+		n.rt.sc.seen = seen
+	} else {
+		clear(seen)
+	}
+	total := 0
+	for i := range contribs {
+		total += len(contribs[i].newItems)
+	}
+	// The merged payload escapes into the outgoing message, so it is the one
+	// slice here that must be freshly allocated.
+	items := make([]msg.Item, 0, total)
 	for _, c := range contribs {
 		for _, it := range c.newItems {
 			if !seen[it.Key()] {
@@ -157,18 +186,37 @@ func (n *node) flush(st *interestState) {
 		return
 	}
 
-	universe := make([]msg.ItemKey, len(items))
-	for i, it := range items {
-		universe[i] = it.Key()
+	universe := n.rt.sc.universe[:0]
+	for _, it := range items {
+		universe = append(universe, it.Key())
 	}
-	family := make([]setcover.Subset[msg.ItemKey], len(contribs))
+	n.rt.sc.universe = universe
+
+	// One flat key buffer backs every subset; pre-sizing it up front keeps
+	// the per-subset subslices valid across appends. Greedy copies its
+	// inputs, so the scratch is free again as soon as it returns.
+	keyCount := 0
+	for i := range contribs {
+		keyCount += len(contribs[i].items)
+	}
+	keys := n.rt.sc.keys
+	if cap(keys) < keyCount {
+		keys = make([]msg.ItemKey, 0, keyCount)
+	}
+	keys = keys[:0]
+	family := n.rt.sc.family[:0]
 	for i, c := range contribs {
-		keys := make([]msg.ItemKey, len(c.items))
-		for j, it := range c.items {
-			keys[j] = it.Key()
+		start := len(keys)
+		for _, it := range c.items {
+			keys = append(keys, it.Key())
 		}
-		family[i] = setcover.Subset[msg.ItemKey]{Label: i, Elements: keys, Weight: float64(c.w)}
+		family = append(family, setcover.Subset[msg.ItemKey]{
+			Label: i, Elements: keys[start:len(keys):len(keys)], Weight: float64(c.w),
+		})
 	}
+	n.rt.sc.keys = keys
+	n.rt.sc.family = family
+
 	n.rt.ins.setCover(len(family))
 	cover, err := setcover.Greedy(universe, family)
 	if err != nil {
@@ -206,14 +254,15 @@ func (n *node) flush(st *interestState) {
 // truncationPass runs the strategy's path-truncation rule over the last
 // window of received aggregates, once per Tn per node.
 func (n *node) truncationPass() {
-	defer n.rt.kernel.Schedule(n.rt.params.NegReinforceWindow, n.truncationPass)
+	defer n.armKind(n.rt.params.NegReinforceWindow, tkTruncation)
 	if !n.on() {
 		return
 	}
-	for _, iid := range n.interestIDs() {
-		st := n.interests[iid]
+	for i := range n.interests.sts {
+		iid := n.interests.ids[i]
+		st := n.interests.sts[i]
 		window := st.window
-		st.window = nil
+		st.window = st.window[:0]
 		if len(window) == 0 {
 			continue
 		}
@@ -236,20 +285,21 @@ func (n *node) truncationPass() {
 // one has gone silent (§2: "if a node on this preferred path fails, sensor
 // nodes can attempt to locally repair the failed path").
 func (n *node) repairPass() {
-	defer n.rt.kernel.Schedule(time.Second, n.repairPass)
+	defer n.armKind(time.Second, tkRepair)
 	if !n.on() {
 		return
 	}
 	p := n.rt.params
 	now := n.now()
-	for _, iid := range n.interestIDs() {
-		st := n.interests[iid]
+	for i := range n.interests.sts {
+		iid := n.interests.ids[i]
+		st := n.interests.sts[i]
 		onTree := (n.isSink && iid == n.sinkInterest) || n.hasDataGradient(st)
 		if !onTree {
 			continue
 		}
-		for _, mid := range sortedMsgIDs(st.entries) {
-			e := st.entries[mid]
+		for j := range st.entries.es {
+			e := st.entries.es[j]
 			if !e.HasChosen || e.skeleton || e.Origin == n.id {
 				continue
 			}
@@ -262,7 +312,7 @@ func (n *node) repairPass() {
 			// Repair keys on the *source* going silent, not on which
 			// upstream carries it: truncation legitimately reroutes a
 			// source's items through a sibling branch.
-			if last, ok := st.srcSeen[e.Origin]; ok && now-last < p.RepairTimeout {
+			if last, ok := st.srcSeen.get(e.Origin); ok && now-last < p.RepairTimeout {
 				continue
 			}
 			if e.excluded == nil {
@@ -282,51 +332,22 @@ func (n *node) repairPass() {
 
 // --- cache pruning -----------------------------------------------------------
 
+// prunePass is where lazy expiry catches up with the tables: stale entries
+// linger (harmlessly — every use site checks expiry) until this pass
+// compacts each table in one ordered sweep.
 func (n *node) prunePass() {
-	defer n.rt.kernel.Schedule(n.rt.params.DataCacheTTL/2, n.prunePass)
+	defer n.armKind(n.rt.params.DataCacheTTL/2, tkPrune)
 	p := n.rt.params
 	now := n.now()
-	for _, iid := range n.interestIDs() {
-		st := n.interests[iid]
+	for _, st := range n.interests.sts {
 		for k, at := range st.dataCache {
 			if now-at > p.DataCacheTTL {
 				delete(st.dataCache, k)
 			}
 		}
-		for mid, e := range st.entries {
-			if now-e.created > p.ExploratoryPeriod+p.ExploratoryPeriod/2 {
-				delete(st.entries, mid)
-				delete(st.forwardedC, mid)
-				delete(st.sentIncCost, mid)
-			}
-		}
-		for nbr, g := range st.grads {
-			if g.expires <= now {
-				delete(st.grads, nbr)
-			}
-		}
-		for nbr, at := range st.lastDataFrom {
-			if now-at > 4*p.NegReinforceWindow {
-				delete(st.lastDataFrom, nbr)
-			}
-		}
-		for src, at := range st.srcSeen {
-			if now-at > 4*p.NegReinforceWindow {
-				delete(st.srcSeen, src)
-			}
-		}
+		st.entries.compactCreatedSince(now - (p.ExploratoryPeriod + p.ExploratoryPeriod/2))
+		st.grads.compactExpired(now)
+		st.lastDataFrom.compactSince(now - 4*p.NegReinforceWindow)
+		st.srcSeen.compactSince(now - 4*p.NegReinforceWindow)
 	}
-}
-
-func sortedMsgIDs(m map[msg.MsgID]*entryState) []msg.MsgID {
-	ids := make([]msg.MsgID, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	return ids
 }

@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -36,8 +37,13 @@ func (firstCopyStrategy) Truncate(window []ReceivedAgg) []topology.NodeID {
 			fresh[a.From] = true
 		}
 	}
+	ids := make([]topology.NodeID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var out []topology.NodeID
-	for _, id := range sortedNeighborIDs(seen) {
+	for _, id := range ids {
 		if !fresh[id] {
 			out = append(out, id)
 		}
@@ -203,7 +209,7 @@ func TestReinforcementCreatesDataGradients(t *testing.T) {
 	// its downstream neighbor.
 	for i := 0; i < 3; i++ {
 		n := rt.Node(topology.NodeID(i))
-		st := n.interests[0]
+		st := n.interests.get(0)
 		if st == nil {
 			t.Fatalf("node %d has no interest state", i)
 		}
@@ -269,7 +275,7 @@ func TestAggregationMergesTwoSources(t *testing.T) {
 	}
 	// And the relay must be an aggregation point.
 	relay := rt.Node(2)
-	if st := relay.interests[0]; st == nil || !relay.isAggregationPoint(st) {
+	if st := relay.interests.get(0); st == nil || !relay.isAggregationPoint(st) {
 		t.Fatal("relay is not an aggregation point despite merging two sources")
 	}
 }
@@ -353,7 +359,7 @@ func TestTruncationPrunesRedundantBranch(t *testing.T) {
 	k.Run(30 * time.Second)
 
 	src := rt.Node(0)
-	st := src.interests[0]
+	st := src.interests.get(0)
 	if st == nil {
 		t.Fatal("source has no interest state")
 	}

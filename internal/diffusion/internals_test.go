@@ -37,7 +37,7 @@ func TestIncCostSkeletonEntry(t *testing.T) {
 	n.onIncCost(2, msg.Message{
 		Kind: msg.KindIncCost, Interest: 0, ID: 77, Origin: 2, C: 4, Bytes: msg.ControlBytes,
 	})
-	e := st.entries[77]
+	e := st.entries.get(77)
 	if e == nil || !e.skeleton {
 		t.Fatal("no skeleton entry created")
 	}
@@ -86,8 +86,9 @@ func TestIncCostRefinementMonotone(t *testing.T) {
 	})
 
 	n.onIncCost(0, msg.Message{Kind: msg.KindIncCost, Interest: 0, ID: 42, Origin: 0, C: 9, Bytes: msg.ControlBytes})
-	if got := st.forwardedC[42]; got != 5 {
-		t.Fatalf("forwarded C = %d, want min(9, E=5) = 5", got)
+	e := st.entries.get(42)
+	if !e.hasFwdC || e.fwdC != 5 {
+		t.Fatalf("forwarded C = %d, want min(9, E=5) = 5", e.fwdC)
 	}
 	before := rt.Sent()[msg.KindIncCost]
 
@@ -98,8 +99,8 @@ func TestIncCostRefinementMonotone(t *testing.T) {
 	}
 	// A better one must.
 	n.onIncCost(0, msg.Message{Kind: msg.KindIncCost, Interest: 0, ID: 42, Origin: 0, C: 2, Bytes: msg.ControlBytes})
-	if st.forwardedC[42] != 2 {
-		t.Fatalf("improvement not forwarded: %d", st.forwardedC[42])
+	if e.fwdC != 2 {
+		t.Fatalf("improvement not forwarded: %d", e.fwdC)
 	}
 	if rt.Sent()[msg.KindIncCost] != before+1 {
 		t.Fatal("improved inc-cost not sent")
@@ -117,7 +118,7 @@ func TestNegCascadeRateLimit(t *testing.T) {
 	}
 	n := rt.Node(1)
 	st := n.state(0)
-	st.lastDataFrom[0] = k.Now() // recent upstream sender
+	st.lastDataFrom.put(0, k.Now()) // recent upstream sender
 
 	// Two data gradients; degrading one leaves the other: no cascade.
 	n.setGradient(st, 2, gradData)
@@ -157,21 +158,20 @@ func TestPrunePassEvictsStaleState(t *testing.T) {
 	n := rt.Node(1)
 	st := n.state(0)
 	st.dataCache[msg.ItemKey{Source: 0, Seq: 1}] = 0
-	st.entries[5] = &entryState{created: 0}
-	st.forwardedC[5] = 3
-	st.grads[0] = &gradient{kind: gradExploratory, expires: time.Second}
-	st.lastDataFrom[0] = 0
-	st.srcSeen[0] = 0
+	st.entries.put(5, &entryState{created: 0, hasFwdC: true, fwdC: 3})
+	st.grads.put(0, gradient{kind: gradExploratory, expires: time.Second})
+	st.lastDataFrom.put(0, 0)
+	st.srcSeen.put(0, 0)
 
 	// Jump far past every TTL and run one prune pass.
 	k.Schedule(10*p.ExploratoryPeriod, func() { n.prunePass() })
 	k.Run(10 * p.ExploratoryPeriod)
 
-	if len(st.dataCache) != 0 || len(st.entries) != 0 || len(st.forwardedC) != 0 ||
-		len(st.grads) != 0 || len(st.lastDataFrom) != 0 || len(st.srcSeen) != 0 {
-		t.Fatalf("stale state survived prune: cache=%d entries=%d fwdC=%d grads=%d senders=%d src=%d",
-			len(st.dataCache), len(st.entries), len(st.forwardedC),
-			len(st.grads), len(st.lastDataFrom), len(st.srcSeen))
+	if len(st.dataCache) != 0 || st.entries.size() != 0 ||
+		st.grads.size() != 0 || st.lastDataFrom.size() != 0 || st.srcSeen.size() != 0 {
+		t.Fatalf("stale state survived prune: cache=%d entries=%d grads=%d senders=%d src=%d",
+			len(st.dataCache), st.entries.size(),
+			st.grads.size(), st.lastDataFrom.size(), st.srcSeen.size())
 	}
 }
 
@@ -192,8 +192,8 @@ func TestEarlyFlushWhenAllSourcesPresent(t *testing.T) {
 	n := rt.Node(2)
 	st := n.state(0)
 	now := k.Now()
-	st.srcSeen[0] = now
-	st.srcSeen[1] = now
+	st.srcSeen.put(0, now)
+	st.srcSeen.put(1, now)
 	n.setGradient(st, 3, gradData)
 
 	item0 := msg.Item{Source: 0, Seq: 1}
@@ -354,8 +354,8 @@ func TestInterestRoundDedup(t *testing.T) {
 		t.Fatalf("interest rebroadcasts = %d, want 4 (each round forwarded once per node)", got)
 	}
 	// Gradients toward both senders exist regardless of dedup.
-	st := n.interests[0]
-	if st.grads[2] == nil || st.grads[0] == nil {
+	st := n.interests.get(0)
+	if st.grads.get(2) == nil || st.grads.get(0) == nil {
 		t.Fatal("interest did not set gradients toward both senders")
 	}
 }
@@ -373,7 +373,7 @@ func TestSinkIgnoresOwnInterestEcho(t *testing.T) {
 	sink := rt.Node(2)
 	sink.onInterest(1, msg.Message{Kind: msg.KindInterest, Interest: 0, ID: 1,
 		Origin: 2, Bytes: msg.ControlBytes})
-	if st := sink.interests[0]; st != nil && len(st.grads) > 0 {
+	if st := sink.interests.get(0); st != nil && st.grads.size() > 0 {
 		t.Fatal("sink set a gradient from its own interest echo")
 	}
 	k.Run(time.Millisecond)

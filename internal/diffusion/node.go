@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/mac"
 	"repro/internal/msg"
-	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -22,19 +21,22 @@ type gradient struct {
 	expires time.Duration
 }
 
-// interestState is one node's per-interest protocol state.
+// interestState is one node's per-interest protocol state. The soft-state
+// collections are sorted-insert tables (table.go): iteration is ascending by
+// key with no sort or key-slice allocation on any hot path, and expiry is
+// lazy — checked where entries are used, compacted in prunePass.
 type interestState struct {
 	id msg.InterestID
 
 	// grads maps downstream neighbor -> gradient (direction: data sent to
 	// that neighbor flows toward the interest's sink).
-	grads map[topology.NodeID]*gradient
+	grads gradTable
 
 	// seenRound is the newest interest flood round forwarded.
 	seenRound int
 
 	// entries caches exploratory events by message id.
-	entries map[msg.MsgID]*entryState
+	entries entryTable
 
 	// dataCache suppresses duplicate items: item key -> last seen.
 	dataCache map[msg.ItemKey]time.Duration
@@ -46,24 +48,16 @@ type interestState struct {
 	window []ReceivedAgg
 
 	// lastDataFrom tracks when each upstream neighbor last delivered data.
-	lastDataFrom map[topology.NodeID]time.Duration
+	lastDataFrom timeTable
 
 	// srcSeen tracks when items from each source last passed through, for
 	// the aggregation-point test.
-	srcSeen map[topology.NodeID]time.Duration
+	srcSeen timeTable
 
 	// lastNegCascade rate-limits negative-reinforcement propagation;
 	// negCascaded distinguishes "never" from a cascade at t=0.
 	lastNegCascade time.Duration
 	negCascaded    bool
-
-	// forwardedC is the lowest incremental cost already forwarded per
-	// message id, so improvements propagate but duplicates do not.
-	forwardedC map[msg.MsgID]int
-
-	// sentIncCost is the lowest C this node emitted as an on-tree source
-	// per foreign message id.
-	sentIncCost map[msg.MsgID]int
 
 	// activated marks a source that has begun sensing for this interest.
 	activated bool
@@ -79,6 +73,18 @@ type entryState struct {
 	chosenAt  time.Duration
 	excluded  map[topology.NodeID]bool
 	sinkTimer bool // reinforcement already scheduled at the sink
+
+	// fwdC is the lowest incremental cost already forwarded for this entry,
+	// so improvements propagate but duplicates do not; sentC is the lowest C
+	// this node emitted as an on-tree source for it.
+	fwdC     int
+	hasFwdC  bool
+	sentC    int
+	hasSentC bool
+
+	// copiesBuf is inline storage backing Copies for the common small
+	// fan-in, so recording the first few flood copies never allocates.
+	copiesBuf [4]Copy
 }
 
 // recordCopy notes a flood delivery from nbr at the given accumulated cost,
@@ -96,6 +102,9 @@ func (e *entryState) recordCopy(nbr topology.NodeID, cost int, at time.Duration)
 			return
 		}
 	}
+	if e.Copies == nil {
+		e.Copies = e.copiesBuf[:0]
+	}
 	e.Copies = append(e.Copies, Copy{Nbr: nbr, E: cost, Arrival: at})
 }
 
@@ -107,7 +116,7 @@ type node struct {
 	sinkInterest msg.InterestID
 	isSource     bool
 
-	interests map[msg.InterestID]*interestState
+	interests interestTable
 
 	seq           int // next item sequence number (sources)
 	sourceStarted bool
@@ -129,10 +138,9 @@ type node struct {
 
 func newNode(rt *Runtime, id topology.NodeID) *node {
 	return &node{
-		rt:        rt,
-		id:        id,
-		interests: make(map[msg.InterestID]*interestState),
-		procBias:  rt.jitter(rt.params.FloodJitterMax / 2),
+		rt:       rt,
+		id:       id,
+		procBias: rt.jitter(rt.params.FloodJitterMax / 2),
 	}
 }
 
@@ -151,20 +159,6 @@ func (n *node) floodDelay() time.Duration {
 
 func (n *node) on() bool { return n.rt.net.On(n.id) }
 
-// scheduleEpoch schedules fn to run only if the node has not crashed with
-// amnesia in the meantime. All per-state timers (periodic source loops,
-// flood forwards, reinforcement and flush timers) go through here; the
-// node-global housekeeping loops and a sink's interest flood deliberately do
-// not, since they survive reboots.
-func (n *node) scheduleEpoch(d time.Duration, fn func()) sim.Timer {
-	ep := n.epoch
-	return n.rt.kernel.Schedule(d, func() {
-		if n.epoch == ep {
-			fn()
-		}
-	})
-}
-
 // amnesia models a crash-and-reboot that loses RAM: every interest's soft
 // state (gradients, exploratory entry caches, duplicate-suppression caches,
 // aggregation buffers, source activation) vanishes, so the node must re-learn
@@ -172,13 +166,10 @@ func (n *node) scheduleEpoch(d time.Duration, fn func()) sim.Timer {
 // flash to avoid reusing identifiers — the item sequence number and a sink's
 // interest round — survive, as does the hardware processing bias.
 func (n *node) amnesia() {
-	for _, st := range n.interests {
-		if st.pending.armed {
-			st.pending.timer.Stop()
-			st.pending.armed = false
-		}
+	for _, st := range n.interests.sts {
+		n.disarmFlush(st)
 	}
-	n.interests = make(map[msg.InterestID]*interestState)
+	n.interests.reset()
 	n.sourceStarted = false
 	n.epoch++
 }
@@ -186,19 +177,13 @@ func (n *node) amnesia() {
 func (n *node) now() time.Duration { return n.rt.kernel.Now() }
 
 func (n *node) state(iid msg.InterestID) *interestState {
-	st, ok := n.interests[iid]
-	if !ok {
+	st := n.interests.get(iid)
+	if st == nil {
 		st = &interestState{
-			id:           iid,
-			grads:        make(map[topology.NodeID]*gradient),
-			entries:      make(map[msg.MsgID]*entryState),
-			dataCache:    make(map[msg.ItemKey]time.Duration),
-			lastDataFrom: make(map[topology.NodeID]time.Duration),
-			srcSeen:      make(map[topology.NodeID]time.Duration),
-			forwardedC:   make(map[msg.MsgID]int),
-			sentIncCost:  make(map[msg.MsgID]int),
+			id:        iid,
+			dataCache: make(map[msg.ItemKey]time.Duration),
 		}
-		n.interests[iid] = st
+		n.interests.put(iid, st)
 	}
 	return st
 }
@@ -221,7 +206,7 @@ func (n *node) floodInterest() {
 		}
 		n.broadcast(m)
 	}
-	n.rt.kernel.Schedule(n.rt.params.InterestPeriod, n.floodInterest)
+	n.armKind(n.rt.params.InterestPeriod, tkInterestFlood)
 }
 
 // startHousekeeping runs periodic cache pruning, truncation, and repair.
@@ -229,9 +214,9 @@ func (n *node) startHousekeeping() {
 	p := n.rt.params
 	// Offset each node's truncation phase randomly so passes do not
 	// synchronize network-wide.
-	n.rt.kernel.Schedule(p.NegReinforceWindow+n.rt.jitter(p.NegReinforceWindow), n.truncationPass)
-	n.rt.kernel.Schedule(time.Second+n.rt.jitter(time.Second), n.repairPass)
-	n.rt.kernel.Schedule(p.DataCacheTTL, n.prunePass)
+	n.armKind(p.NegReinforceWindow+n.rt.jitter(p.NegReinforceWindow), tkTruncation)
+	n.armKind(time.Second+n.rt.jitter(time.Second), tkRepair)
+	n.armKind(p.DataCacheTTL, tkPrune)
 }
 
 // activateSource begins sensing for an interest: periodic events and
@@ -244,17 +229,15 @@ func (n *node) activateSource(iid msg.InterestID) {
 	st.activated = true
 	if !n.sourceStarted {
 		n.sourceStarted = true
-		n.scheduleEpoch(n.rt.jitter(n.rt.params.DataPeriod), n.generateEvent)
+		n.armKind(n.rt.jitter(n.rt.params.DataPeriod), tkGenerate)
 	}
-	n.scheduleEpoch(n.rt.jitter(n.rt.params.FloodJitterMax*4), func() {
-		n.exploratoryRound(iid)
-	})
+	n.armRound(n.rt.jitter(n.rt.params.FloodJitterMax*4), tkExplorRound, iid)
 }
 
 // generateEvent produces the next sensed item and hands it to every
 // activated interest's data path.
 func (n *node) generateEvent() {
-	defer n.scheduleEpoch(n.rt.params.DataPeriod, n.generateEvent)
+	defer n.armKind(n.rt.params.DataPeriod, tkGenerate)
 	if !n.on() {
 		return
 	}
@@ -263,13 +246,12 @@ func (n *node) generateEvent() {
 	if n.rt.observer != nil {
 		n.rt.observer.Generated(n.id, item)
 	}
-	for _, iid := range n.interestIDs() {
-		st := n.interests[iid]
+	for _, st := range n.interests.sts {
 		if !st.activated {
 			continue
 		}
 		st.dataCache[item.Key()] = n.now()
-		st.srcSeen[n.id] = n.now()
+		st.srcSeen.put(n.id, n.now())
 		if !n.hasDataGradient(st) {
 			continue // not reinforced yet: high-rate data has nowhere to go
 		}
@@ -282,7 +264,7 @@ func (n *node) generateEvent() {
 // exploratoryRound floods one exploratory event for interest iid and
 // re-arms itself.
 func (n *node) exploratoryRound(iid msg.InterestID) {
-	defer n.scheduleEpoch(n.rt.params.ExploratoryPeriod, func() { n.exploratoryRound(iid) })
+	defer n.armRound(n.rt.params.ExploratoryPeriod, tkExplorRound, iid)
 	if !n.on() {
 		return
 	}
@@ -305,7 +287,7 @@ func (n *node) exploratoryRound(iid msg.InterestID) {
 		created:   n.now(),
 		forwarded: true,
 	}
-	st.entries[mid] = e
+	st.entries.put(mid, e)
 	m := msg.Message{
 		Kind:     msg.KindExploratory,
 		Interest: iid,
@@ -356,12 +338,8 @@ func (n *node) onInterest(from topology.NodeID, m msg.Message) {
 		return
 	}
 	st.seenRound = round
-	fwd := m // same round id; gradient setup is hop-by-hop
-	n.scheduleEpoch(n.floodDelay(), func() {
-		if n.on() {
-			n.broadcast(fwd)
-		}
-	})
+	// Same round id; gradient setup is hop-by-hop.
+	n.armMsg(n.floodDelay(), tkFloodForward, nil, m)
 	if n.isSource {
 		n.activateSource(m.Interest)
 	}
@@ -371,17 +349,13 @@ func (n *node) onInterest(from topology.NodeID, m msg.Message) {
 // gradient is never downgraded by an interest flood; its expiry is extended.
 func (n *node) setGradient(st *interestState, nbr topology.NodeID, kind gradKind) {
 	p := n.rt.params
-	g := st.grads[nbr]
-	n.rt.ins.gradient(g != nil)
-	if g == nil {
-		g = &gradient{}
-		st.grads[nbr] = g
-	}
+	g, existed := st.grads.getOrInsert(nbr)
+	n.rt.ins.gradient(existed)
 	switch {
 	case kind == gradData:
 		g.kind = gradData
 		g.expires = n.now() + p.DataGradientTimeout
-	case g.kind == gradData:
+	case existed && g.kind == gradData:
 		// Keep the stronger gradient; refresh its life only modestly.
 		if e := n.now() + p.ExploratoryGradientTimeout; e > g.expires {
 			g.expires = e
@@ -395,7 +369,7 @@ func (n *node) setGradient(st *interestState, nbr topology.NodeID, kind gradKind
 // degradeGradient turns a data gradient toward nbr back into an exploratory
 // one (negative reinforcement) and reports whether anything changed.
 func (n *node) degradeGradient(st *interestState, nbr topology.NodeID) bool {
-	g := st.grads[nbr]
+	g := st.grads.get(nbr)
 	if g == nil || g.kind != gradData {
 		return false
 	}
@@ -405,8 +379,10 @@ func (n *node) degradeGradient(st *interestState, nbr topology.NodeID) bool {
 }
 
 func (n *node) hasDataGradient(st *interestState) bool {
-	for _, g := range st.grads {
-		if g.kind == gradData && g.expires > n.now() {
+	now := n.now()
+	for i := range st.grads.es {
+		g := &st.grads.es[i].g
+		if g.kind == gradData && g.expires > now {
 			return true
 		}
 	}
@@ -414,14 +390,18 @@ func (n *node) hasDataGradient(st *interestState) bool {
 }
 
 // dataGradients returns live downstream data-gradient neighbors in ID order.
+// The slice is the runtime's shared scratch buffer: valid until the next
+// dataGradients call, never retained by callers.
 func (n *node) dataGradients(st *interestState) []topology.NodeID {
-	var out []topology.NodeID
-	for _, nbr := range sortedNeighborIDs(st.grads) {
-		g := st.grads[nbr]
-		if g.kind == gradData && g.expires > n.now() {
-			out = append(out, nbr)
+	out := n.rt.sc.grads[:0]
+	now := n.now()
+	for i := range st.grads.es {
+		ge := &st.grads.es[i]
+		if ge.g.kind == gradData && ge.g.expires > now {
+			out = append(out, ge.nbr)
 		}
 	}
+	n.rt.sc.grads = out
 	return out
 }
 
@@ -443,14 +423,15 @@ func (n *node) onExploratory(from topology.NodeID, m msg.Message) {
 	st := n.state(m.Interest)
 	cost := m.E + n.linkCost(from) // cost of the transmission that just delivered it
 
-	e, seen := st.entries[m.ID]
+	e := st.entries.get(m.ID)
+	seen := e != nil
 	if seen && !e.skeleton && e.Origin == n.id {
 		return // our own flood echoed back
 	}
 	if !seen {
 		e = &entryState{created: n.now()}
 		e.ID = m.ID
-		st.entries[m.ID] = e
+		st.entries.put(m.ID, e)
 	}
 	improved := !e.HasE || cost < e.BestE
 	e.recordCopy(from, cost, n.now())
@@ -468,17 +449,10 @@ func (n *node) onExploratory(from topology.NodeID, m msg.Message) {
 		return
 	}
 
-	// Forward the flood once, with our accumulated cost.
+	// Forward the flood once, with our accumulated cost at send time.
 	if !e.forwarded {
 		e.forwarded = true
-		n.scheduleEpoch(n.floodDelay(), func() {
-			if !n.on() {
-				return
-			}
-			fwd := m.Clone()
-			fwd.E = e.BestE // best known at send time
-			n.broadcast(fwd)
-		})
+		n.armMsg(n.floodDelay(), tkExplorForward, e, m)
 	}
 	if improved {
 		n.maybeEmitIncCost(st, e)
@@ -497,10 +471,11 @@ func (n *node) maybeEmitIncCost(st *interestState, e *entryState) {
 	if !n.isSource || e.Origin == n.id || !n.hasDataGradient(st) {
 		return
 	}
-	if prev, ok := st.sentIncCost[e.ID]; ok && prev <= e.BestE {
+	if e.hasSentC && e.sentC <= e.BestE {
 		return
 	}
-	st.sentIncCost[e.ID] = e.BestE
+	e.hasSentC = true
+	e.sentC = e.BestE
 	m := msg.Message{
 		Kind:     msg.KindIncCost,
 		Interest: st.id,
@@ -517,14 +492,14 @@ func (n *node) maybeEmitIncCost(st *interestState, e *entryState) {
 
 func (n *node) onIncCost(from topology.NodeID, m msg.Message) {
 	st := n.state(m.Interest)
-	e := st.entries[m.ID]
+	e := st.entries.get(m.ID)
 	if e == nil {
 		// The cost message outran the flood (or we lost the flood to a
 		// collision). Create a skeleton entry so the cost information is
 		// still usable.
 		e = &entryState{skeleton: true, created: n.now()}
 		e.ID = m.ID
-		st.entries[m.ID] = e
+		st.entries.put(m.ID, e)
 	}
 	if !e.HasC || m.C < e.BestC {
 		e.HasC = true
@@ -541,10 +516,11 @@ func (n *node) onIncCost(from topology.NodeID, m msg.Message) {
 	if e.HasE && e.BestE < out {
 		out = e.BestE
 	}
-	if prev, ok := st.forwardedC[m.ID]; ok && prev <= out {
+	if e.hasFwdC && e.fwdC <= out {
 		return
 	}
-	st.forwardedC[m.ID] = out
+	e.hasFwdC = true
+	e.fwdC = out
 	fwd := msg.Message{
 		Kind:     msg.KindIncCost,
 		Interest: st.id,
@@ -570,11 +546,7 @@ func (n *node) scheduleSinkReinforce(st *interestState, e *entryState) {
 	}
 	e.sinkTimer = true
 	delay := n.rt.strategy.SinkReinforceDelay(n.rt.params)
-	n.scheduleEpoch(delay, func() {
-		if n.on() {
-			n.reinforceEntry(st, e)
-		}
-	})
+	n.armEntry(delay, tkSinkReinforce, st, e)
 }
 
 // reinforceEntry applies the strategy's local rule and reinforces the chosen
@@ -584,13 +556,20 @@ func (n *node) scheduleSinkReinforce(st *interestState, e *entryState) {
 func (n *node) reinforceEntry(st *interestState, e *entryState) {
 	exclude := e.excluded
 	if down := n.dataGradients(st); len(down) > 0 {
-		exclude = make(map[topology.NodeID]bool, len(e.excluded)+len(down))
+		merged := n.rt.sc.exclude
+		if merged == nil {
+			merged = make(map[topology.NodeID]bool, len(e.excluded)+len(down))
+			n.rt.sc.exclude = merged
+		} else {
+			clear(merged)
+		}
 		for id := range e.excluded {
-			exclude[id] = true
+			merged[id] = true
 		}
 		for _, id := range down {
-			exclude[id] = true
+			merged[id] = true
 		}
+		exclude = merged
 	}
 	nbr, ok := n.rt.strategy.ChooseUpstream(&e.ExplorEntry, exclude)
 	if !ok {
@@ -613,7 +592,7 @@ func (n *node) reinforceEntry(st *interestState, e *entryState) {
 func (n *node) onReinforce(from topology.NodeID, m msg.Message) {
 	st := n.state(m.Interest)
 	n.setGradient(st, from, gradData)
-	e := st.entries[m.ID]
+	e := st.entries.get(m.ID)
 	if e == nil {
 		return // no cached path state: cannot propagate further
 	}
@@ -650,9 +629,10 @@ func (n *node) onNegReinforce(from topology.NodeID, m msg.Message) {
 		Origin:   n.id,
 		Bytes:    msg.ControlBytes,
 	}
-	for _, nbr := range sortedNeighborIDs(st.lastDataFrom) {
-		if nbr != from && st.lastDataFrom[nbr] >= cutoff {
-			n.unicast(nbr, fwd)
+	for i := range st.lastDataFrom.es {
+		ent := &st.lastDataFrom.es[i]
+		if ent.id != from && ent.at >= cutoff {
+			n.unicast(ent.id, fwd)
 		}
 	}
 }
@@ -677,20 +657,6 @@ func (n *node) unicast(to topology.NodeID, m msg.Message) {
 	n.rt.sent[m.Kind]++
 	n.rt.traceMsg(trace.OpSend, n.id, to, m)
 	_ = n.rt.net.Unicast(n.id, to, mac.Frame{Bytes: m.Bytes, Payload: m})
-}
-
-// interestIDs returns this node's known interests in ascending order.
-func (n *node) interestIDs() []msg.InterestID {
-	ids := make([]msg.InterestID, 0, len(n.interests))
-	for id := range n.interests {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	return ids
 }
 
 // deliver records sink arrivals of any new items and refreshes the

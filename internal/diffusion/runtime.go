@@ -2,11 +2,11 @@ package diffusion
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/mac"
 	"repro/internal/msg"
+	"repro/internal/setcover"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -54,6 +54,23 @@ func (r Roles) Validate(n int) error {
 	return nil
 }
 
+// scratch is the runtime's shared per-call workspace. The kernel is
+// single-threaded and the MAC delivers through scheduled events (no
+// synchronous cross-node reentry), so one instance serves every node: a
+// buffer's contents only need to survive the single protocol action that
+// filled it. Maps are lazily created and cleared in place; slices grow to
+// the high-water mark and stay.
+type scratch struct {
+	sources  []topology.NodeID          // activeSources results
+	grads    []topology.NodeID          // dataGradients results
+	have     map[topology.NodeID]bool   // sufficientForFlush coverage test
+	exclude  map[topology.NodeID]bool   // reinforceEntry merged exclusions
+	seen     map[msg.ItemKey]bool       // flush payload dedup
+	universe []msg.ItemKey              // flush set-cover universe
+	keys     []msg.ItemKey              // flush set-cover family backing
+	family   []setcover.Subset[msg.ItemKey]
+}
+
 // Runtime wires a diffusion instantiation over every node of a field and
 // drives its periodic behavior on the simulation kernel.
 type Runtime struct {
@@ -69,6 +86,9 @@ type Runtime struct {
 	sent     map[msg.Kind]int
 	tracer   Tracer
 	ins      *Instruments
+
+	timerFree *nodeTimer // recycled nodeTimer records
+	sc        scratch
 }
 
 // Tracer receives structured protocol events; trace.Recorder implements it.
@@ -95,7 +115,7 @@ func (rt *Runtime) traceMsg(op trace.Op, node, peer topology.NodeID, m msg.Messa
 	// data path updates it — the same test onData is about to make.
 	fresh := 0
 	if op == trace.OpReceive && m.Kind == msg.KindData {
-		if st, ok := rt.nodes[node].interests[m.Interest]; ok {
+		if st := rt.nodes[node].interests.get(m.Interest); st != nil {
 			for _, it := range m.Items {
 				if _, dup := st.dataCache[it.Key()]; !dup {
 					fresh++
@@ -186,11 +206,17 @@ func (rt *Runtime) Node(id topology.NodeID) *node { return rt.nodes[id] }
 // for an interest, in ascending order — the tree structure, for inspection.
 func (rt *Runtime) DataGradients(id topology.NodeID, iid msg.InterestID) []topology.NodeID {
 	n := rt.nodes[id]
-	st, ok := n.interests[iid]
-	if !ok {
+	st := n.interests.get(iid)
+	if st == nil {
 		return nil
 	}
-	return n.dataGradients(st)
+	// The internal call returns the shared scratch buffer; hand callers a
+	// copy they can keep.
+	g := n.dataGradients(st)
+	if len(g) == 0 {
+		return nil
+	}
+	return append([]topology.NodeID(nil), g...)
 }
 
 // Amnesia wipes node id's diffusion soft state, modeling a crash-and-reboot
@@ -204,20 +230,19 @@ func (rt *Runtime) Amnesia(id topology.NodeID) { rt.nodes[id].amnesia() }
 
 // KnowsInterest reports whether node id has any state for the interest.
 func (rt *Runtime) KnowsInterest(id topology.NodeID, iid msg.InterestID) bool {
-	_, ok := rt.nodes[id].interests[iid]
-	return ok
+	return rt.nodes[id].interests.get(iid) != nil
 }
 
 // BestEntryCost returns the lowest exploratory energy cost E cached at node
 // id across the interest's current entries (excluding entries the node
 // itself originated), for inspection and tests.
 func (rt *Runtime) BestEntryCost(id topology.NodeID, iid msg.InterestID) (int, bool) {
-	st, ok := rt.nodes[id].interests[iid]
-	if !ok {
+	st := rt.nodes[id].interests.get(iid)
+	if st == nil {
 		return 0, false
 	}
 	best, found := 0, false
-	for _, e := range st.entries {
+	for _, e := range st.entries.es {
 		if !e.HasE || e.Origin == id {
 			continue
 		}
@@ -265,8 +290,9 @@ func (rt *Runtime) Snapshot() []trace.SnapshotRecord {
 	var out []trace.SnapshotRecord
 	now := rt.kernel.Now()
 	for _, n := range rt.nodes {
-		for _, iid := range n.interestIDs() {
-			st := n.interests[iid]
+		for i := range n.interests.sts {
+			iid := n.interests.ids[i]
+			st := n.interests.sts[i]
 			rec := trace.SnapshotRecord{
 				At:       now,
 				Node:     n.id,
@@ -275,31 +301,20 @@ func (rt *Runtime) Snapshot() []trace.SnapshotRecord {
 				Sink:     n.isSink && iid == n.sinkInterest,
 				Source:   n.isSource && st.activated,
 				DupCache: len(st.dataCache),
-				Entries:  len(st.entries),
+				Entries:  st.entries.size(),
 			}
 			rec.OnTree = rec.Sink || n.hasDataGradient(st)
-			for _, nbr := range sortedNeighborIDs(st.grads) {
-				g := st.grads[nbr]
-				if g.expires <= now {
+			for j := range st.grads.es {
+				ge := &st.grads.es[j]
+				if ge.g.expires <= now {
 					continue
 				}
 				rec.Gradients = append(rec.Gradients, trace.SnapshotGradient{
-					Nbr: nbr, Data: g.kind == gradData, Expires: g.expires,
+					Nbr: ge.nbr, Data: ge.g.kind == gradData, Expires: ge.g.expires,
 				})
 			}
 			out = append(out, rec)
 		}
 	}
 	return out
-}
-
-// sortedNeighborIDs returns keys of a per-neighbor map in ascending order,
-// for deterministic iteration.
-func sortedNeighborIDs[V any](m map[topology.NodeID]V) []topology.NodeID {
-	ids := make([]topology.NodeID, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
 }

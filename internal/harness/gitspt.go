@@ -5,9 +5,11 @@ import (
 	"io"
 	"math/rand"
 	"strings"
+	"time"
 
 	"repro/internal/datacentric"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -32,6 +34,19 @@ type GitSptTable struct {
 	// SourcesPerInstance and EventRadiusMeters record the workload knobs.
 	Sources     int
 	EventRadius float64
+	// Meta is the sweep's execution record, always filled by GitSpt. The
+	// comparison is graph-level (no kernel runs), so Events stays zero and
+	// Runs counts field instances.
+	Meta *RunMeta
+}
+
+// Manifest builds the provenance record written beside the table's CSV.
+func (t *GitSptTable) Manifest() *obs.Manifest {
+	var xs []int
+	for _, r := range t.Rows {
+		xs = append(xs, r.Nodes)
+	}
+	return t.Meta.Manifest("git-spt", []string{"event-radius", "random", "corner"}, xs)
 }
 
 // GitSpt regenerates the abstract comparison over o.Nodes, averaging
@@ -45,6 +60,8 @@ func GitSpt(o Options) (*GitSptTable, error) {
 		eventRadius = 40.0
 	)
 	t := &GitSptTable{Sources: sources, EventRadius: eventRadius}
+	started := time.Now()
+	meta := &RunMeta{Fields: o.Fields, BaseSeed: o.BaseSeed, Duration: o.Duration}
 	for _, nodes := range o.Nodes {
 		row := GitSptRow{Nodes: nodes}
 		for field := 0; field < o.Fields; field++ {
@@ -64,6 +81,7 @@ func GitSpt(o Options) (*GitSptTable, error) {
 				continue
 			}
 			sink := sinkPool[rng.Intn(len(sinkPool))]
+			meta.Runs++
 			row.Density = append(row.Density, f.MeanDegree())
 
 			if srcs := datacentric.EventRadiusSources(f, sink, eventRadius, rng); len(srcs) >= 2 {
@@ -85,6 +103,8 @@ func GitSpt(o Options) (*GitSptTable, error) {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	meta.WallTime = time.Since(started)
+	t.Meta = meta
 	return t, nil
 }
 
@@ -103,4 +123,22 @@ func (t *GitSptTable) Render(w io.Writer) error {
 	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// CSV writes the comparison in long form, one row per density, savings as
+// fractions.
+func (t *GitSptTable) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,nodes,density_mean,event_radius_mean,event_radius_ci,random_mean,random_ci,corner_mean,corner_ci,fields"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "git-spt,%d,%g,%g,%g,%g,%g,%g,%g,%d\n",
+			r.Nodes, r.Density.Mean(),
+			r.EventRadius.Mean(), r.EventRadius.CI95(),
+			r.Random.Mean(), r.Random.CI95(),
+			r.Corner.Mean(), r.Corner.CI95(), t.Meta.Fields); err != nil {
+			return err
+		}
+	}
+	return nil
 }

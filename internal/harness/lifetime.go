@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -33,6 +34,22 @@ type LifetimeRow struct {
 type LifetimeTable struct {
 	Rows     []LifetimeRow
 	Duration float64 // run length in seconds (the censoring point)
+	// Meta is the study's execution record (probe runs included), always
+	// filled by LifetimeStudy.
+	Meta *RunMeta
+}
+
+// Manifest builds the provenance record written beside the study's CSV.
+func (t *LifetimeTable) Manifest() *obs.Manifest {
+	schemes := make([]string, len(bothSchemes))
+	for i, s := range bothSchemes {
+		schemes[i] = s.String()
+	}
+	var xs []int
+	for _, r := range t.Rows {
+		xs = append(xs, r.Nodes)
+	}
+	return t.Meta.Manifest("lifetime", schemes, xs)
 }
 
 // LifetimeStudy runs the study over o.Nodes with o.Fields fields per point.
@@ -41,12 +58,19 @@ func LifetimeStudy(o Options) (*LifetimeTable, error) {
 		return nil, err
 	}
 	t := &LifetimeTable{Duration: o.Duration.Seconds()}
+	meta := newMetaCollector(o)
 	for _, nodes := range o.Nodes {
 		row := LifetimeRow{Nodes: nodes}
 		for field := 0; field < o.Fields; field++ {
 			probeCfg := baseConfig(o, core.SchemeGreedy, nodes, field)
+			if o.Telemetry {
+				probeCfg.Telemetry = &obs.Config{}
+			}
 			probe, err := core.Run(probeCfg)
 			if err != nil {
+				return nil, err
+			}
+			if err := meta.add(probe); err != nil {
 				return nil, err
 			}
 			c := probe.Metrics.Concentration
@@ -56,8 +80,14 @@ func LifetimeStudy(o Options) (*LifetimeTable, error) {
 			for _, scheme := range bothSchemes {
 				cfg := baseConfig(o, scheme, nodes, field)
 				cfg.BatteryJ = battery
+				if o.Telemetry {
+					cfg.Telemetry = &obs.Config{}
+				}
 				out, err := core.Run(cfg)
 				if err != nil {
+					return nil, err
+				}
+				if err := meta.add(out); err != nil {
 					return nil, err
 				}
 				first := out.Lifetime.FirstDeath.Seconds()
@@ -75,6 +105,7 @@ func LifetimeStudy(o Options) (*LifetimeTable, error) {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	t.Meta = meta.finish()
 	return t, nil
 }
 
@@ -93,4 +124,22 @@ func (t *LifetimeTable) Render(w io.Writer) error {
 	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// CSV writes the study in long form, one row per density.
+func (t *LifetimeTable) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,nodes,battery_j_mean,greedy_first_death_mean_s,greedy_first_death_ci,opp_first_death_mean_s,opp_first_death_ci,greedy_deaths_mean,opp_deaths_mean,censor_s,fields"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "lifetime,%d,%g,%g,%g,%g,%g,%g,%g,%g,%d\n",
+			r.Nodes, r.BatteryJ.Mean(),
+			r.GreedyFirstDeath.Mean(), r.GreedyFirstDeath.CI95(),
+			r.OppFirstDeath.Mean(), r.OppFirstDeath.CI95(),
+			r.GreedyDeaths.Mean(), r.OppDeaths.Mean(),
+			t.Duration, t.Meta.Fields); err != nil {
+			return err
+		}
+	}
+	return nil
 }

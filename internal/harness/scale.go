@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// ScaleNodes is the default node-count ladder for the scale figure; the
+// quick preset stops after the first rung.
+var (
+	ScaleNodes      = []int{500, 1000, 2000}
+	ScaleNodesQuick = []int{500}
+)
+
+// scaleBaseNodes/scaleBaseSide pin the paper's middle density (150 nodes on
+// a 200 m square); the scale sweep grows the field with √nodes so every rung
+// keeps that density and only the population changes.
+const (
+	scaleBaseNodes = 150
+	scaleBaseSide  = 200.0
+)
+
+// scaleFieldSide returns the square side that holds the paper's middle
+// density at the given node count.
+func scaleFieldSide(nodes int) float64 {
+	return scaleBaseSide * math.Sqrt(float64(nodes)/float64(scaleBaseNodes))
+}
+
+// ScaleRow aggregates one (nodes, scheme) rung over the sampled fields.
+type ScaleRow struct {
+	Nodes     int
+	Scheme    string
+	FieldSide float64
+	// Density is the realized mean radio degree, as a sanity check that the
+	// √nodes field growth held the paper's density.
+	Density stats.Sample
+	// Energy is average dissipated energy per node per received distinct
+	// event (the paper's metric); Ratio and Delay complete the panel triple.
+	Energy stats.Sample
+	Ratio  stats.Sample
+	Delay  stats.Sample
+	// Events and WallTime sum the rung's kernel costs; EventsPerSec is the
+	// throughput headline the rung exists to measure.
+	Events   uint64
+	WallTime float64 // seconds
+	// PeakHeapBytes is the process's OS-memory high-water mark sampled when
+	// the rung finished. Rungs run sequentially in ascending node order and
+	// the reading is monotonic, so each value approximates the footprint
+	// needed up to that size.
+	PeakHeapBytes uint64
+}
+
+// EventsPerSec returns the rung's kernel throughput per wall-clock second.
+func (r *ScaleRow) EventsPerSec() float64 {
+	if r.WallTime <= 0 {
+		return 0
+	}
+	return float64(r.Events) / r.WallTime
+}
+
+// ScaleTable is the regenerated scalability figure ("figscale").
+type ScaleTable struct {
+	Fields int
+	Rows   []ScaleRow
+	// Meta is the sweep's execution record, always filled by Scale.
+	Meta *RunMeta
+}
+
+// Manifest builds the provenance record written beside the figure's CSV.
+func (t *ScaleTable) Manifest() *obs.Manifest {
+	schemes := make([]string, len(bothSchemes))
+	for i, s := range bothSchemes {
+		schemes[i] = s.String()
+	}
+	var xs []int
+	for _, r := range t.Rows {
+		if len(xs) == 0 || xs[len(xs)-1] != r.Nodes {
+			xs = append(xs, r.Nodes)
+		}
+	}
+	return t.Meta.Manifest("figscale", schemes, xs)
+}
+
+// Scale runs the scalability sweep: each node count in o.Nodes (ascending)
+// at the paper's middle density, both schemes, averaged over the sampled
+// fields. Unlike the other figures the runs execute sequentially — the peak
+// memory reading is process-wide and monotonic, so ascending sequential
+// execution is what makes the per-rung footprint column meaningful.
+func Scale(o Options) (*ScaleTable, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(o.Nodes); i++ {
+		if o.Nodes[i] <= o.Nodes[i-1] {
+			return nil, fmt.Errorf("harness: figscale node ladder must be strictly ascending, got %v", o.Nodes)
+		}
+	}
+
+	t := &ScaleTable{Fields: o.Fields}
+	meta := newMetaCollector(o)
+	for _, nodes := range o.Nodes {
+		side := scaleFieldSide(nodes)
+		for _, s := range bothSchemes {
+			row := ScaleRow{Nodes: nodes, Scheme: s.String(), FieldSide: side}
+			for f := 0; f < o.Fields; f++ {
+				cfg := baseConfig(o, s, nodes, f)
+				cfg.FieldSide = side
+				if o.Telemetry {
+					cfg.Telemetry = &obs.Config{}
+				}
+				out, err := core.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("harness: figscale %d/%s field %d: %w",
+						nodes, row.Scheme, f, err)
+				}
+				if err := meta.add(out); err != nil {
+					return nil, err
+				}
+				m := out.Metrics
+				row.Density = append(row.Density, out.Density)
+				row.Energy = append(row.Energy, m.AvgDissipatedEnergy)
+				row.Ratio = append(row.Ratio, m.DeliveryRatio)
+				row.Delay = append(row.Delay, m.AvgDelay)
+				row.Events += out.Kernel.Events
+				row.WallTime += out.Kernel.WallTime.Seconds()
+				if o.Progress != nil {
+					o.Progress(fmt.Sprintf("figscale n=%d %s field=%d done (%d events, %.0f ev/s)",
+						nodes, row.Scheme, f, out.Kernel.Events, out.Kernel.EventsPerSec()))
+				}
+			}
+			row.PeakHeapBytes = obs.PeakMemoryBytes()
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Meta = meta.finish()
+	return t, nil
+}
+
+// Render writes the sweep as an aligned text table, one row per
+// (nodes, scheme).
+func (t *ScaleTable) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== figscale: constant-density scaling (%d fields) ==\n",
+		t.Fields); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%6s %14s %7s %8s %10s %9s %10s %7s %8s",
+		"nodes", "scheme", "side_m", "density", "events/s", "peak_mb", "energy", "ratio", "delay_s")
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for i := range t.Rows {
+		r := &t.Rows[i]
+		fmt.Fprintf(w, "%6d %14s %7.0f %8.2f %10.0f %9.1f %10.3g %7.3f %8.3f\n",
+			r.Nodes, r.Scheme, r.FieldSide, r.Density.Mean(),
+			r.EventsPerSec(), float64(r.PeakHeapBytes)/(1<<20),
+			r.Energy.Mean(), r.Ratio.Mean(), r.Delay.Mean())
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the sweep in long form, one row per (nodes, scheme).
+func (t *ScaleTable) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "figure,nodes,scheme,field_side_m,density_mean,events,wall_s,events_per_sec,peak_heap_bytes,energy_mean,energy_ci,ratio_mean,ratio_ci,delay_mean,delay_ci,fields"); err != nil {
+		return err
+	}
+	for i := range t.Rows {
+		r := &t.Rows[i]
+		if _, err := fmt.Fprintf(w, "figscale,%d,%s,%g,%g,%d,%g,%g,%d,%g,%g,%g,%g,%g,%g,%d\n",
+			r.Nodes, r.Scheme, r.FieldSide, r.Density.Mean(),
+			r.Events, r.WallTime, r.EventsPerSec(), r.PeakHeapBytes,
+			r.Energy.Mean(), r.Energy.CI95(),
+			r.Ratio.Mean(), r.Ratio.CI95(),
+			r.Delay.Mean(), r.Delay.CI95(), t.Fields); err != nil {
+			return err
+		}
+	}
+	return nil
+}
