@@ -44,6 +44,20 @@ var figures = []struct {
 	{"baselines", harness.Baselines},
 }
 
+// extraFigures are the non-Table figures handled by dedicated blocks below;
+// "scale" and "repair" are excluded from "all" (run them by name).
+var extraFigures = []string{"git-spt", "lifetime", "chaos", "scale", "repair"}
+
+// validFigures lists every accepted -fig value, "all" last.
+func validFigures() []string {
+	names := make([]string, 0, len(figures)+len(extraFigures)+1)
+	for _, f := range figures {
+		names = append(names, f.name)
+	}
+	names = append(names, extraFigures...)
+	return append(names, "all")
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -54,7 +68,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "all", `figure to regenerate: 5..10, "git-spt", "lifetime", "chaos", "scale", an ablation name, or "all" (scale excluded: run it explicitly)`)
+		fig        = fs.String("fig", "all", `figure to regenerate: 5..10, "git-spt", "lifetime", "chaos", "scale", "repair", an ablation name, or "all" (scale and repair excluded: run them explicitly)`)
 		fields     = fs.Int("fields", 0, "random fields per data point (default: paper's 10, or 3 with -quick)")
 		duration   = fs.Duration("duration", 0, "simulated seconds per run (default 160s, 60s with -quick)")
 		quick      = fs.Bool("quick", false, "reduced preset: 3 fields, 60 s, 3 densities (scale: 500 nodes only)")
@@ -66,6 +80,18 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Fail fast on a bad figure name, before any profiling or output setup.
+	known := false
+	for _, name := range validFigures() {
+		if *fig == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown figure %q (have: %s)", *fig, strings.Join(validFigures(), ", "))
 	}
 
 	if *cpuprofile != "" {
@@ -251,14 +277,34 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	if ran == 0 {
-		names := make([]string, 0, len(figures)+1)
-		for _, f := range figures {
-			names = append(names, f.name)
+	// The repair ablation doubles the chaos grid (repair off and on) and,
+	// like scale, is not part of "all"; ask for it by name.
+	if *fig == "repair" {
+		ran++
+		t0 := time.Now()
+		tbl, err := harness.Repair(opts)
+		if err != nil {
+			return fmt.Errorf("repair: %w", err)
 		}
-		names = append(names, "git-spt", "lifetime", "chaos", "scale")
-		return fmt.Errorf("unknown figure %q (have: %s, all)", *fig, strings.Join(names, ", "))
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+		if v := tbl.TotalViolations(); v != 0 {
+			fmt.Fprintf(out, "WARNING: %d protocol-invariant violations across the grid\n", v)
+		}
+		fmt.Fprintf(out, "(repair ablation regenerated in %v, %d kernel events, %.0f events/s)\n\n",
+			time.Since(t0).Round(time.Second), tbl.Meta.Events, tbl.Meta.EventsPerSec())
+		if csvDir != "" {
+			if err := writeCSV(csvDir, "figrepair.csv", tbl.CSV); err != nil {
+				return err
+			}
+			if err := tbl.Manifest().Write(
+				filepath.Join(csvDir, "figrepair.manifest.json")); err != nil {
+				return err
+			}
+		}
 	}
+
 	fmt.Fprintf(out, "total: %d table(s) in %v\n", ran, time.Since(start).Round(time.Second))
 	return nil
 }

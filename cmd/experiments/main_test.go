@@ -76,7 +76,46 @@ func TestExperimentsPlotFlag(t *testing.T) {
 
 func TestExperimentsUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-fig", "99"}, &buf); err == nil {
+	err := run([]string{"-fig", "99"}, &buf)
+	if err == nil {
 		t.Fatal("unknown figure accepted")
+	}
+	// The error must name the bad figure and list the valid ones.
+	for _, want := range []string{`"99"`, "git-spt", "chaos", "repair", "all"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err.Error(), want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("unknown figure produced output before failing:\n%s", buf.String())
+	}
+}
+
+func TestExperimentsRepairQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repair ablation runs the chaos grid twice")
+	}
+	dir := filepath.Join(t.TempDir(), "res")
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "repair", "-fields", "1", "-duration", "20s", "-quick", "-out", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figrepair", "repair", "off", "on", "total: 1 table"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figrepair.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 || !strings.HasPrefix(lines[0], "figure,scenario,repair") {
+		t.Fatalf("csv malformed:\n%s", data)
+	}
+	if _, err := obs.ReadManifest(filepath.Join(dir, "figrepair.manifest.json")); err != nil {
+		t.Fatal(err)
 	}
 }

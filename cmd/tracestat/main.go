@@ -43,6 +43,7 @@ type edge struct {
 type stats struct {
 	events, snapshots   int
 	sends, recvs, drops int
+	repairs             int
 	kinds               map[msg.Kind]*kindRow
 	dropReasons         map[trace.DropReason]int
 	nodeTraffic         map[topology.NodeID]int
@@ -104,6 +105,8 @@ func (s *stats) addEvent(e trace.Event) {
 		s.drops++
 		s.kind(e.Kind).drops++
 		s.dropReasons[e.Reason]++
+	case trace.OpRepair:
+		s.repairs++
 	}
 }
 
@@ -124,6 +127,9 @@ func run(args []string, out io.Writer) error {
 		s, err := scan(path)
 		if err != nil {
 			return err
+		}
+		if s.events == 0 && s.snapshots == 0 {
+			return fmt.Errorf("%s: no trace records (empty or not an NDJSON trace)", path)
 		}
 		if err := report(out, path, s, *top, *edges); err != nil {
 			return err
@@ -161,7 +167,11 @@ func report(w io.Writer, path string, s *stats, top int, edges bool) error {
 	fmt.Fprintf(w, "== %s ==\n", path)
 	fmt.Fprintf(w, "%d events over %.1f virtual seconds, %d snapshots\n",
 		s.events, span, s.snapshots)
-	fmt.Fprintf(w, "sends %d, receives %d, drops %d\n\n", s.sends, s.recvs, s.drops)
+	fmt.Fprintf(w, "sends %d, receives %d, drops %d", s.sends, s.recvs, s.drops)
+	if s.repairs > 0 {
+		fmt.Fprintf(w, ", repairs %d", s.repairs)
+	}
+	fmt.Fprint(w, "\n\n")
 
 	fmt.Fprintf(w, "%-14s %10s %10s %10s\n", "kind", "sends", "recvs", "drops")
 	kinds := make([]msg.Kind, 0, len(s.kinds))

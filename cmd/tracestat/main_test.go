@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -88,5 +89,46 @@ func TestTracestatUsageErrors(t *testing.T) {
 	}
 	if err := run([]string{filepath.Join(t.TempDir(), "missing.ndjson")}, &buf); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestTracestatEmptyTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.ndjson")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{path}, &buf)
+	if err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if !strings.Contains(err.Error(), "no trace records") {
+		t.Fatalf("error = %q, want a no-trace-records explanation", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty trace produced a report:\n%s", buf.String())
+	}
+}
+
+func TestTracestatTruncatedTrace(t *testing.T) {
+	full, _ := genTrace(t)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-line: the decoder must report a parse error with a
+	// line number, not silently summarize the prefix.
+	cut := bytes.LastIndexByte(data[:len(data)/2], '\n') + 10
+	path := filepath.Join(t.TempDir(), "truncated.ndjson")
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run([]string{path}, &buf)
+	if err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if !strings.Contains(err.Error(), "line ") {
+		t.Fatalf("error = %q, want a line-numbered parse error", err)
 	}
 }

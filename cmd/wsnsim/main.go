@@ -25,6 +25,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/diffusion"
 	"repro/internal/failure"
 	"repro/internal/geom"
 	"repro/internal/msg"
@@ -58,6 +59,7 @@ func run(args []string, out *os.File) error {
 		verbose   = fs.Bool("v", false, "print per-kind message counts and MAC statistics")
 		fieldMap  = fs.Bool("map", false, "draw the field and the final aggregation tree as ASCII art")
 		rtscts    = fs.Bool("rtscts", false, "enable the 802.11 RTS/CTS handshake for unicast data")
+		repair    = fs.Bool("repair", false, "enable the self-healing layer: link-quality estimation, control retransmission, localized path repair")
 		battery   = fs.Float64("battery", 0, "per-node battery budget in joules (0 = unlimited); depleted nodes die permanently")
 
 		loss        = fs.Float64("loss", 0, "i.i.d. per-reception link-loss probability (chaos layer)")
@@ -140,6 +142,9 @@ func run(args []string, out *os.File) error {
 		cfg.MAC.UseRTSCTS = true
 		cfg.MAC.RTSThreshold = 64
 	}
+	if *repair {
+		cfg.Diffusion.Repair = diffusion.DefaultRepairParams()
+	}
 	cfg.BatteryJ = *battery
 
 	var tracers []trace.Sink
@@ -215,7 +220,7 @@ func run(args []string, out *os.File) error {
 
 	if *verbose {
 		fmt.Fprintf(out, "\nprotocol sends by kind:\n")
-		for k := msg.KindInterest; k <= msg.KindNegReinforce; k++ {
+		for k := msg.KindInterest; k <= msg.KindRepairProbe; k++ {
 			if n := res.Sent[k]; n > 0 {
 				fmt.Fprintf(out, "  %-14s %d\n", k, n)
 			}
@@ -239,6 +244,20 @@ func run(args []string, out *os.File) error {
 				rec.MeanTimeToRepair.Round(time.Millisecond), rec.MaxTimeToRepair.Round(time.Millisecond))
 			fmt.Fprintf(out, "  mean dip depth            %.2f\n", rec.MeanDipDepth)
 			fmt.Fprintf(out, "  availability              %.3f\n", rec.Availability)
+			if rec.OutageTime > 0 {
+				fmt.Fprintf(out, "  outage time               %v (%d generated, ~%d lost during outages)\n",
+					rec.OutageTime.Round(time.Millisecond), rec.GeneratedDuringOutage, rec.LostDuringOutage)
+			}
+			for _, b := range rec.TTRBuckets {
+				if b.Count == 0 {
+					continue
+				}
+				label := "overflow"
+				if b.UpTo != 0 {
+					label = "<=" + b.UpTo.String()
+				}
+				fmt.Fprintf(out, "  ttr %-21s %d\n", label, b.Count)
+			}
 		}
 		if *invariants {
 			fmt.Fprintf(out, "  invariant violations      %d\n", rep.ViolationCount)
@@ -246,6 +265,13 @@ func run(args []string, out *os.File) error {
 				fmt.Fprintf(out, "    %v\n", v)
 			}
 		}
+	}
+
+	if rs := res.Repair; rs != nil {
+		fmt.Fprintf(out, "\nself-healing: %d watchdog fires, %d re-reinforcements, %d probes (%d replies)\n",
+			rs.WatchdogFires, rs.Reinforces, rs.Probes, rs.ProbeReplies)
+		fmt.Fprintf(out, "  %d control retransmissions, %d data rebuffers, %d fallback broadcasts\n",
+			rs.CtrlRetries, rs.DataRebuffers, rs.FallbackBroadcasts)
 	}
 
 	if *fieldMap {
@@ -364,7 +390,7 @@ func parseKinds(arg string) ([]msg.Kind, error) {
 	for _, name := range strings.Split(arg, ",") {
 		name = strings.TrimSpace(name)
 		found := false
-		for k := msg.KindInterest; k <= msg.KindNegReinforce; k++ {
+		for k := msg.KindInterest; k <= msg.KindRepairProbe; k++ {
 			if k.String() == name {
 				kinds = append(kinds, k)
 				found = true

@@ -348,6 +348,7 @@ type ObserverWrapper struct {
 
 // Generated implements the observer shape.
 func (o *ObserverWrapper) Generated(src topology.NodeID, item msg.Item) {
+	o.engine.recovery.Generated(o.engine.kernel.Now())
 	o.inner.Generated(src, item)
 }
 

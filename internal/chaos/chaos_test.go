@@ -7,8 +7,10 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/diffusion"
 	"repro/internal/failure"
 	"repro/internal/geom"
+	"repro/internal/msg"
 )
 
 // testConfig is a mid-size run that keeps the suite fast while exercising
@@ -240,5 +242,90 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if err := chaos.DefaultConfig().Validate(); err != nil {
 		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+// TestRepairUnderChaos drives the self-healing layer through crash and
+// combined fault loads: the repair machinery must actually fire, the
+// invariant checker must stay clean (the repair-grace rule doing its job),
+// and the run must stay byte-deterministic.
+func TestRepairUnderChaos(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cc   chaos.Config
+	}{
+		{"amnesia", chaos.Config{
+			Amnesia:         chaos.AmnesiaConfig{MeanInterval: 10 * time.Second, Downtime: 2 * time.Second},
+			CheckInvariants: true,
+		}},
+		{"combined", chaos.Config{
+			Loss:            chaos.LossConfig{Drop: 0.05, AsymmetryFraction: 0.2, AsymmetryDrop: 0.3},
+			Amnesia:         chaos.AmnesiaConfig{MeanInterval: 15 * time.Second, Downtime: 2 * time.Second},
+			CheckInvariants: true,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(core.SchemeGreedy, 11)
+			cc := tc.cc
+			cfg.Chaos = &cc
+			cfg.Diffusion.Repair = diffusion.DefaultRepairParams()
+
+			out, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Chaos.ViolationCount != 0 {
+				t.Errorf("violations with repair on: %v", out.Chaos.Violations)
+			}
+			rs := out.Repair
+			if rs == nil {
+				t.Fatal("no repair stats with repair enabled")
+			}
+			if rs.WatchdogFires+rs.CtrlRetries+rs.DataRebuffers == 0 {
+				t.Errorf("repair layer never fired: %+v", *rs)
+			}
+			if out.Metrics.DeliveryRatio == 0 {
+				t.Error("repair run silenced the network")
+			}
+
+			// Same config, same seed: bit-identical outcome.
+			cfg2 := testConfig(core.SchemeGreedy, 11)
+			cc2 := tc.cc
+			cfg2.Chaos = &cc2
+			cfg2.Diffusion.Repair = diffusion.DefaultRepairParams()
+			out2, err := core.Run(cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(out.Metrics, out2.Metrics) {
+				t.Errorf("metrics diverge across identical repair runs:\n%+v\n%+v",
+					out.Metrics, out2.Metrics)
+			}
+			if !reflect.DeepEqual(out.MAC, out2.MAC) {
+				t.Error("MAC stats diverge across identical repair runs")
+			}
+			if !reflect.DeepEqual(*rs, *out2.Repair) {
+				t.Errorf("repair stats diverge: %+v vs %+v", *rs, *out2.Repair)
+			}
+		})
+	}
+}
+
+// TestRepairOffIsInert pins the opt-in contract: with the zero-valued
+// RepairParams the run is bit-identical to one that predates the repair
+// layer — no hook, no timers, no randomness consumed.
+func TestRepairOffIsInert(t *testing.T) {
+	cfg := testConfig(core.SchemeGreedy, 13)
+	cc := chaos.DefaultConfig()
+	cfg.Chaos = &cc
+	out, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Repair != nil {
+		t.Fatalf("repair stats reported with repair off: %+v", *out.Repair)
+	}
+	if n := out.Sent[msg.KindRepairProbe]; n != 0 {
+		t.Fatalf("%d repair probes sent with repair off", n)
 	}
 }

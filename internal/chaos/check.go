@@ -62,6 +62,14 @@ type Checker struct {
 	lastFresh  map[edge]time.Duration // last reception carrying any fresh item
 	prevCycles map[string]bool
 	flagged    map[string]bool
+
+	// repairAt records each node's most recent OpRepair event. A cycle
+	// touching a node that repaired within the grace window is excused from
+	// the stale-cycle rule: localized re-reinforcement after detected
+	// silence legitimately rebuilds gradients mid-audit, and flagging that
+	// as a fresh/stale cycle would punish exactly the recovery behavior the
+	// self-healing layer exists to provide.
+	repairAt map[topology.NodeID]time.Duration
 }
 
 // edge is a directed data-gradient link (data flows from -> to).
@@ -83,6 +91,11 @@ const (
 	maxViolations   = 64
 	auditPeriod     = 5 * time.Second
 	defaultEntryTTL = 75 * time.Second
+
+	// repairGrace is how long after a node's local repair its cycles stay
+	// excused: two audit periods, matching the persistence evidence the
+	// stale-cycle rule itself requires.
+	repairGrace = 2 * auditPeriod
 )
 
 // streamKey identifies one node's send stream for one exploratory entry.
@@ -119,6 +132,7 @@ func newChecker(kernel *sim.Kernel, net *mac.Network, nodes int) *Checker {
 		lastLink:  make(map[edge]time.Duration),
 		lastFresh: make(map[edge]time.Duration),
 		flagged:   make(map[string]bool),
+		repairAt:  make(map[topology.NodeID]time.Duration),
 	}
 }
 
@@ -178,6 +192,8 @@ func (c *Checker) Record(ev trace.Event) {
 				c.lastFresh[e] = ev.At
 			}
 		}
+	case trace.OpRepair:
+		c.repairAt[ev.Node] = ev.At
 	}
 }
 
@@ -246,6 +262,7 @@ func (c *Checker) NodeRebooted(id topology.NodeID) {
 		}
 	}
 	delete(c.seen, id)
+	delete(c.repairAt, id)
 }
 
 // startAudits arms the periodic gradient-structure audit; a no-op without a
@@ -268,11 +285,23 @@ func (c *Checker) audit() {
 	c.prevCycles = make(map[string]bool, len(cur))
 	for sig, cycle := range cur {
 		c.prevCycles[sig] = true
-		if prev[sig] && !c.flagged[sig] && c.cycleActive(cycle) {
+		if prev[sig] && !c.flagged[sig] && c.cycleActive(cycle) && !c.recentlyRepaired(cycle) {
 			c.flagged[sig] = true
 			c.violate("persistent-gradient-cycle", sig)
 		}
 	}
+}
+
+// recentlyRepaired reports whether any cycle member performed a local repair
+// within the grace window; such a cycle is settling, not stuck.
+func (c *Checker) recentlyRepaired(cycle []topology.NodeID) bool {
+	cutoff := c.kernel.Now() - repairGrace
+	for _, u := range cycle {
+		if at, ok := c.repairAt[u]; ok && at >= cutoff {
+			return true
+		}
+	}
+	return false
 }
 
 // cycleActive reports whether the cycle's survival is the protocol's fault:
@@ -317,6 +346,11 @@ func (c *Checker) pruneCostState() {
 	for k, at := range c.lastFresh {
 		if now-at > c.ttl() {
 			delete(c.lastFresh, k)
+		}
+	}
+	for k, at := range c.repairAt {
+		if now-at > c.ttl() {
+			delete(c.repairAt, k)
 		}
 	}
 }

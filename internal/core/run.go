@@ -256,6 +256,10 @@ type Output struct {
 	// Chaos is the fault-injection report (invariant violations, recovery
 	// metrics, injection counters) when Config.Chaos is set; nil otherwise.
 	Chaos *chaos.Report
+	// Repair is the self-healing layer's counter snapshot when
+	// Config.Diffusion.Repair.Enabled is set on a diffusion scheme; nil
+	// otherwise.
+	Repair *diffusion.RepairStats
 	// Kernel reports event-loop throughput; always filled.
 	Kernel KernelStats
 	// Telemetry is the metrics-registry snapshot when Config.Telemetry is
@@ -487,9 +491,14 @@ func Run(cfg Config) (Output, error) {
 	}
 	sent := map[msg.Kind]int{}
 	trees := map[msg.InterestID][][2]topology.NodeID{}
+	var repair *diffusion.RepairStats
 	switch {
 	case rt != nil:
 		sent = rt.Sent()
+		if cfg.Diffusion.Repair.Enabled {
+			rs := rt.RepairStats()
+			repair = &rs
+		}
 		for i := 0; i < field.Len(); i++ {
 			for si := range assign.Sinks {
 				iid := msg.InterestID(si)
@@ -515,6 +524,9 @@ func Run(cfg Config) (Output, error) {
 			rt.Instruments().FlushCascades()
 		}
 		bridgeStats(reg, cfg.Scheme.String(), network.Stats(), sent, kstats, cfg.Duration)
+		if repair != nil {
+			bridgeRepair(reg, cfg.Scheme.String(), *repair)
+		}
 		telemetry = reg.Snapshot()
 	}
 
@@ -528,6 +540,7 @@ func Run(cfg Config) (Output, error) {
 		Trees:      trees,
 		Lifetime:   life,
 		Chaos:      report,
+		Repair:     repair,
 		Kernel:     kstats,
 		Telemetry:  telemetry,
 	}, nil

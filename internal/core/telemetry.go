@@ -144,3 +144,20 @@ func bridgeStats(reg *obs.Registry, scheme string, ms mac.Stats, sent map[msg.Ki
 		reg.Gauge("sim_wall_per_virtual_second", l).Set(ks.WallTime.Seconds() / virtual.Seconds())
 	}
 }
+
+// bridgeRepair folds the self-healing layer's counters into the registry.
+// Only called when repair actually ran, so repair-off runs keep their
+// telemetry snapshot (and the goldens over it) byte-identical.
+func bridgeRepair(reg *obs.Registry, scheme string, rs diffusion.RepairStats) {
+	if reg == nil {
+		return
+	}
+	l := obs.Label{Key: "scheme", Value: scheme}
+	reg.Counter("repair_watchdog_fires", l).Add(int64(rs.WatchdogFires))
+	reg.Counter("repair_reinforces", l).Add(int64(rs.Reinforces))
+	reg.Counter("repair_probes", l).Add(int64(rs.Probes))
+	reg.Counter("repair_probe_replies", l).Add(int64(rs.ProbeReplies))
+	reg.Counter("repair_ctrl_retries", l).Add(int64(rs.CtrlRetries))
+	reg.Counter("repair_data_rebuffers", l).Add(int64(rs.DataRebuffers))
+	reg.Counter("repair_fallback_broadcasts", l).Add(int64(rs.FallbackBroadcasts))
+}

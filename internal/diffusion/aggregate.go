@@ -233,6 +233,10 @@ func (n *node) flush(st *interestState) {
 	}
 
 	grads := n.dataGradients(st)
+	if n.rt.params.Repair.Enabled {
+		n.sendDataHealing(st, grads, items, w)
+		return
+	}
 	if len(grads) == 0 {
 		return // truncated or expired mid-flight: the data dies here
 	}
@@ -289,6 +293,10 @@ func (n *node) repairPass() {
 	if !n.on() {
 		return
 	}
+	if n.rt.params.Repair.Enabled {
+		n.healingPass()
+		return
+	}
 	p := n.rt.params
 	now := n.now()
 	for i := range n.interests.sts {
@@ -339,9 +347,18 @@ func (n *node) prunePass() {
 	defer n.armKind(n.rt.params.DataCacheTTL/2, tkPrune)
 	p := n.rt.params
 	now := n.now()
+	cacheTTL := p.DataCacheTTL
+	if p.Repair.Enabled && n.isSink {
+		// Repair can legitimately replay old items — probe replies carry
+		// exploratory items up to 1.5 periods old, rebuffered data up to the
+		// retention bound. The sink's duplicate cache must outlive anything
+		// the layer can replay, or a late replay would double-count a
+		// delivery.
+		cacheTTL = 2 * p.ExploratoryPeriod
+	}
 	for _, st := range n.interests.sts {
 		for k, at := range st.dataCache {
-			if now-at > p.DataCacheTTL {
+			if now-at > cacheTTL {
 				delete(st.dataCache, k)
 			}
 		}
@@ -349,5 +366,8 @@ func (n *node) prunePass() {
 		st.grads.compactExpired(now)
 		st.lastDataFrom.compactSince(now - 4*p.NegReinforceWindow)
 		st.srcSeen.compactSince(now - 4*p.NegReinforceWindow)
+	}
+	if p.Repair.Enabled {
+		n.pruneRepairState(now)
 	}
 }

@@ -61,6 +61,12 @@ type interestState struct {
 
 	// activated marks a source that has begun sensing for this interest.
 	activated bool
+
+	// repairingUntil is the self-healing layer's degradation window: while
+	// it lies in the future, data with no usable gradient is broadcast
+	// opportunistically instead of dropped (repair.go). Always zero when
+	// repair is disabled.
+	repairingUntil time.Duration
 }
 
 // entryState wraps the strategy-visible ExplorEntry with runtime-private
@@ -73,6 +79,13 @@ type entryState struct {
 	chosenAt  time.Duration
 	excluded  map[topology.NodeID]bool
 	sinkTimer bool // reinforcement already scheduled at the sink
+
+	// probedAt and repairing belong to the self-healing layer: when the
+	// watchdog gave up on this entry's upstream and found no cached
+	// alternative, repairing marks the probe-wait state and probedAt
+	// rate-limits re-probing. Both stay zero when repair is disabled.
+	probedAt  time.Duration
+	repairing bool
 
 	// fwdC is the lowest incremental cost already forwarded for this entry,
 	// so improvements propagate but duplicates do not; sentC is the lowest C
@@ -134,6 +147,12 @@ type node struct {
 	// opportunistic scheme's lowest-delay paths coincide across sources
 	// when path diversity is low.
 	procBias time.Duration
+
+	// lq and retries belong to the self-healing layer (repair.go): the
+	// per-neighbor link-quality estimates and the pending control
+	// retransmission budgets. Both stay empty when repair is disabled.
+	lq      linkQuality
+	retries []ctrlRetry
 }
 
 func newNode(rt *Runtime, id topology.NodeID) *node {
@@ -171,6 +190,8 @@ func (n *node) amnesia() {
 	}
 	n.interests.reset()
 	n.sourceStarted = false
+	n.lq.reset()
+	n.retries = n.retries[:0]
 	n.epoch++
 }
 
@@ -252,7 +273,8 @@ func (n *node) generateEvent() {
 		}
 		st.dataCache[item.Key()] = n.now()
 		st.srcSeen.put(n.id, n.now())
-		if !n.hasDataGradient(st) {
+		if !n.hasDataGradient(st) &&
+			!(n.rt.params.Repair.Enabled && n.now() < st.repairingUntil) {
 			continue // not reinforced yet: high-rate data has nowhere to go
 		}
 		// The source's own item joins the aggregation buffer with zero
@@ -322,6 +344,8 @@ func (n *node) receive(from topology.NodeID, f mac.Frame) {
 		n.onReinforce(from, m)
 	case msg.KindNegReinforce:
 		n.onNegReinforce(from, m)
+	case msg.KindRepairProbe:
+		n.onRepairProbe(from, m)
 	}
 }
 

@@ -63,6 +63,104 @@ type Params struct {
 	// this is that hook. Values below 1 are clamped to 1. The function
 	// must be deterministic.
 	LinkCost func(from, to topology.NodeID) int
+
+	// Repair configures the opt-in self-healing layer (repair.go,
+	// linkquality.go). The zero value disables it entirely: no MAC hook is
+	// installed, no extra timers or messages exist, and runs are
+	// byte-identical to a build without the layer.
+	Repair RepairParams
+}
+
+// RepairParams configures the self-healing resilience layer: link-quality
+// estimation from unicast ACK outcomes, adaptive control retransmission,
+// the data-silence watchdog with localized path repair, and graceful
+// degradation of the data path while repair is in flight. Everything is
+// deterministic — no field introduces randomness — so enabling repair keeps
+// the (seed, config) reproducibility contract.
+type RepairParams struct {
+	// Enabled turns the layer on. All other fields are ignored when false.
+	Enabled bool
+
+	// SilenceFactor scales the data-silence watchdog: a reinforced entry
+	// whose source has been quiet for SilenceFactor × DataPeriod is declared
+	// broken and locally repaired.
+	SilenceFactor int
+
+	// CtrlRetryBase, CtrlRetryMax, and CtrlRetryLimit shape the capped
+	// exponential backoff for retransmitting reinforcement and
+	// incremental-cost messages whose MAC-level delivery failed: retry k
+	// waits min(Base·2^(k-1), Max), up to Limit retries.
+	CtrlRetryBase  time.Duration
+	CtrlRetryMax   time.Duration
+	CtrlRetryLimit int
+
+	// LinkAlpha is the EWMA weight of the newest unicast outcome in the
+	// per-neighbor link-quality estimate; MinLinkQuality is the healthy
+	// threshold below which a neighbor is sidelined (excluded from repair
+	// choices, skipped by the data path when a healthier gradient exists).
+	LinkAlpha      float64
+	MinLinkQuality float64
+
+	// QualityTTL is the probation horizon: an estimate with no fresh
+	// samples for this long is forgiven (treated as healthy again), so a
+	// link that failed during a transient outage is re-tried instead of
+	// being blacklisted forever.
+	QualityTTL time.Duration
+
+	// ProbeCooldown rate-limits scoped re-exploration: at most one repair
+	// probe per entry per cooldown.
+	ProbeCooldown time.Duration
+
+	// DataRetention bounds how long a node re-buffers data whose unicast
+	// was abandoned by the MAC; items older than this die instead of being
+	// retried. Zero disables data re-buffering.
+	DataRetention time.Duration
+}
+
+// DefaultRepairParams returns the self-healing layer's tuning with the layer
+// enabled; assign it to Params.Repair to opt in.
+func DefaultRepairParams() RepairParams {
+	return RepairParams{
+		Enabled:        true,
+		SilenceFactor:  4,
+		CtrlRetryBase:  50 * time.Millisecond,
+		CtrlRetryMax:   400 * time.Millisecond,
+		CtrlRetryLimit: 3,
+		LinkAlpha:      0.4,
+		MinLinkQuality: 0.25,
+		QualityTTL:     10 * time.Second,
+		ProbeCooldown:  2 * time.Second,
+		DataRetention:  30 * time.Second,
+	}
+}
+
+// Validate reports the first problem with the repair parameters, if any.
+// A disabled configuration is always valid.
+func (r RepairParams) Validate() error {
+	if !r.Enabled {
+		return nil
+	}
+	switch {
+	case r.SilenceFactor < 1:
+		return fmt.Errorf("diffusion: repair silence factor %d < 1", r.SilenceFactor)
+	case r.CtrlRetryBase <= 0 || r.CtrlRetryMax < r.CtrlRetryBase:
+		return fmt.Errorf("diffusion: bad repair retry backoff [%v, %v]",
+			r.CtrlRetryBase, r.CtrlRetryMax)
+	case r.CtrlRetryLimit < 0:
+		return fmt.Errorf("diffusion: negative repair retry limit %d", r.CtrlRetryLimit)
+	case r.LinkAlpha <= 0 || r.LinkAlpha > 1:
+		return fmt.Errorf("diffusion: repair link alpha %v outside (0, 1]", r.LinkAlpha)
+	case r.MinLinkQuality < 0 || r.MinLinkQuality >= 1:
+		return fmt.Errorf("diffusion: repair quality threshold %v outside [0, 1)", r.MinLinkQuality)
+	case r.QualityTTL <= 0:
+		return fmt.Errorf("diffusion: non-positive repair quality TTL %v", r.QualityTTL)
+	case r.ProbeCooldown <= 0:
+		return fmt.Errorf("diffusion: non-positive repair probe cooldown %v", r.ProbeCooldown)
+	case r.DataRetention < 0:
+		return fmt.Errorf("diffusion: negative repair data retention %v", r.DataRetention)
+	default:
+		return nil
+	}
 }
 
 // DefaultParams returns the paper's §5.1 methodology values (with the OCR
@@ -110,6 +208,6 @@ func (p Params) Validate() error {
 	case p.Agg == nil:
 		return fmt.Errorf("diffusion: nil aggregation function")
 	default:
-		return nil
+		return p.Repair.Validate()
 	}
 }

@@ -63,6 +63,8 @@ func (r Roles) Validate(n int) error {
 type scratch struct {
 	sources  []topology.NodeID          // activeSources results
 	grads    []topology.NodeID          // dataGradients results
+	healthy  []topology.NodeID          // sendDataHealing quality filter
+	lqDrop   []topology.NodeID          // repairEntry link-quality exclusions
 	have     map[topology.NodeID]bool   // sufficientForFlush coverage test
 	exclude  map[topology.NodeID]bool   // reinforceEntry merged exclusions
 	seen     map[msg.ItemKey]bool       // flush payload dedup
@@ -89,6 +91,10 @@ type Runtime struct {
 
 	timerFree *nodeTimer // recycled nodeTimer records
 	sc        scratch
+
+	// repair holds the self-healing layer's action counters; all zero when
+	// Params.Repair.Enabled is false.
+	repair RepairStats
 }
 
 // Tracer receives structured protocol events; trace.Recorder implements it.
@@ -261,6 +267,11 @@ func (rt *Runtime) Start() {
 		panic("diffusion: Start called twice")
 	}
 	rt.started = true
+	if rt.params.Repair.Enabled {
+		// The self-healing layer needs the fate of every unicast attempt
+		// cycle; disabled runs install nothing so the MAC path is untouched.
+		rt.net.SetUnicastOutcomeHook(rt.unicastOutcome)
+	}
 	for _, s := range rt.roles.Sinks {
 		rt.nodes[s].startSink()
 	}

@@ -65,6 +65,18 @@ func (e *ExplorEntry) BestCopy(exclude map[topology.NodeID]bool) (Copy, bool) {
 	return best, found
 }
 
+// HasAlternative reports whether any recorded flood copy falls outside the
+// exclusion set — whether localized repair still has a candidate before it
+// must fall back to scoped re-exploration.
+func (e *ExplorEntry) HasAlternative(exclude map[topology.NodeID]bool) bool {
+	for i := range e.Copies {
+		if !exclude[e.Copies[i].Nbr] {
+			return true
+		}
+	}
+	return false
+}
+
 // FirstCopy returns the earliest-arriving non-excluded copy.
 func (e *ExplorEntry) FirstCopy(exclude map[topology.NodeID]bool) (Copy, bool) {
 	for _, c := range e.Copies {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/msg"
+	"repro/internal/topology"
 )
 
 type timerKind uint8
@@ -32,6 +33,8 @@ const (
 	tkTruncation
 	tkRepair
 	tkPrune
+	tkCtrlRetry
+	tkDataRetry
 )
 
 // nodeTimer is one pending delayed action. Which fields are meaningful
@@ -43,6 +46,7 @@ type nodeTimer struct {
 	e    *entryState
 	m    msg.Message
 	iid  msg.InterestID
+	to   topology.NodeID // retransmission target (tkCtrlRetry)
 	ep   int
 	kind timerKind
 	next *nodeTimer // free-list link
@@ -66,7 +70,7 @@ func (rt *Runtime) releaseTimer(t *nodeTimer) {
 // Run dispatches the timed action. The record is copied out and recycled
 // before the action runs, so handlers are free to arm new timers.
 func (t *nodeTimer) Run() {
-	n, st, e, m, iid, ep, kind := t.n, t.st, t.e, t.m, t.iid, t.ep, t.kind
+	n, st, e, m, iid, to, ep, kind := t.n, t.st, t.e, t.m, t.iid, t.to, t.ep, t.kind
 	n.rt.releaseTimer(t)
 	switch kind {
 	case tkGenerate:
@@ -107,6 +111,14 @@ func (t *nodeTimer) Run() {
 		n.repairPass()
 	case tkPrune:
 		n.prunePass()
+	case tkCtrlRetry:
+		if n.epoch == ep && n.on() {
+			n.ctrlRetryFire(to, m)
+		}
+	case tkDataRetry:
+		if n.epoch == ep && n.on() {
+			n.dataRetryFire(m)
+		}
 	}
 }
 
@@ -129,6 +141,14 @@ func (n *node) armRound(d time.Duration, kind timerKind, iid msg.InterestID) {
 func (n *node) armMsg(d time.Duration, kind timerKind, e *entryState, m msg.Message) {
 	t := n.rt.acquireTimer()
 	t.n, t.e, t.m, t.ep, t.kind = n, e, m, n.epoch, kind
+	n.rt.kernel.ScheduleRunner(d, t)
+}
+
+// armCtrl schedules a control-message retransmission toward a specific
+// neighbor (self-healing layer).
+func (n *node) armCtrl(d time.Duration, to topology.NodeID, m msg.Message) {
+	t := n.rt.acquireTimer()
+	t.n, t.to, t.m, t.ep, t.kind = n, to, m, n.epoch, tkCtrlRetry
 	n.rt.kernel.ScheduleRunner(d, t)
 }
 

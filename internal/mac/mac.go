@@ -198,6 +198,15 @@ func (r RxDropReason) String() string {
 // debuggable from traces alone.
 type DropHook func(from, to topology.NodeID, f Frame, reason RxDropReason)
 
+// UnicastOutcome observes the final fate of each unicast attempt cycle:
+// acked == true when the sender decoded an ACK, false when the frame was
+// abandoned after RetryLimit retransmissions. retries is the number of
+// retransmissions used. Frames whose sender died mid-exchange report
+// nothing — the crash wipes the sender's protocol state anyway. Hooks must
+// not mutate MAC state; the diffusion repair layer installs these to feed
+// link-quality estimation and control-plane retransmission.
+type UnicastOutcome func(from, to topology.NodeID, f Frame, acked bool, retries int)
+
 // LinkFilter decides whether a frame transmitted by from is successfully
 // received at to. It is consulted exactly once per (transmission, in-range
 // receiver) pair, at the start of the frame's airtime, so the decision is
@@ -231,8 +240,9 @@ type Network struct {
 	energy []*energy.Meter
 	nodes  []*nodeState
 	stats  Stats
-	filter LinkFilter
-	drop   DropHook
+	filter  LinkFilter
+	drop    DropHook
+	outcome UnicastOutcome
 
 	// Free lists recycling the per-frame hot-path records.
 	txFree    []*transmission
@@ -474,6 +484,11 @@ func (n *Network) SetLinkFilter(f LinkFilter) { n.filter = f }
 
 // SetDropHook installs a lost-reception observer (nil removes it).
 func (n *Network) SetDropHook(h DropHook) { n.drop = h }
+
+// SetUnicastOutcomeHook installs a unicast-outcome observer (nil removes
+// it). It fires before the frame is dequeued, so the hook sees the frame
+// payload intact.
+func (n *Network) SetUnicastOutcomeHook(h UnicastOutcome) { n.outcome = h }
 
 // reportDrop invokes the drop hook for a lost data-frame reception at nb,
 // but only when nb was an intended receiver of tx. Callers on the hot path
@@ -862,6 +877,9 @@ func (n *Network) finishAck(ack *transmission) {
 	if dest.on && n.field.InRange(dest.id, src.id) && !ack.corrupted.has(src.id) && !ack.lostAt(src.id) {
 		// ACK received: success.
 		src.cw = n.params.CWMin
+		if n.outcome != nil {
+			n.outcome(src.id, of.to, of.frame, true, of.retries)
+		}
 		n.dequeueAndContinue(src)
 		return
 	}
@@ -874,6 +892,9 @@ func (n *Network) ackTimeout(ns *nodeState, of *outFrame) {
 	if of.retries >= n.params.RetryLimit {
 		n.stats.Drops[DropRetryExceeded]++
 		ns.cw = n.params.CWMin
+		if n.outcome != nil {
+			n.outcome(ns.id, of.to, of.frame, false, of.retries)
+		}
 		n.dequeueAndContinue(ns)
 		return
 	}

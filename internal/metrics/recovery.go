@@ -27,6 +27,42 @@ type Recovery struct {
 	// Availability is the fraction of one-second buckets in the measurement
 	// window with at least one sink delivery.
 	Availability float64
+
+	// TTRBuckets is a histogram of the per-fault repair times over fixed
+	// bounds; the final bucket (UpTo == 0) collects repairs slower than the
+	// largest bound. Nil when no fault was repaired in the window.
+	TTRBuckets []TTRBucket
+	// OutageTime is the summed length of the merged outage intervals: from
+	// each fault to the first subsequent delivery (or the window's end),
+	// overlapping outages counted once.
+	OutageTime time.Duration
+	// GeneratedDuringOutage counts events generated inside the outage
+	// intervals — the traffic at risk while no delivery was flowing.
+	GeneratedDuringOutage int
+	// LostDuringOutage estimates the deliveries the steady rate would have
+	// produced during the outage time; since outages by construction contain
+	// no deliveries, this is the traffic the faults cost.
+	LostDuringOutage int
+}
+
+// TTRBucket is one time-to-repair histogram bucket: Count repairs completed
+// within UpTo (and above the previous bucket's bound). UpTo == 0 marks the
+// overflow bucket.
+type TTRBucket struct {
+	UpTo  time.Duration
+	Count int
+}
+
+// ttrBounds are the histogram bucket upper bounds, chosen around the repair
+// layer's expected time scales: sub-second control retransmission, the
+// few-second watchdog plus re-reinforcement path, and slow flood-driven
+// recovery.
+var ttrBounds = []time.Duration{
+	500 * time.Millisecond,
+	time.Second,
+	2 * time.Second,
+	5 * time.Second,
+	10 * time.Second,
 }
 
 // RecoveryTracker accumulates fault and delivery timestamps during a run and
@@ -36,6 +72,7 @@ type RecoveryTracker struct {
 	window     time.Duration
 	deliveries []time.Duration
 	faults     []time.Duration
+	generated  []time.Duration
 }
 
 // DefaultRecoveryWindow is the post-fault observation window for the
@@ -59,6 +96,11 @@ func (t *RecoveryTracker) Delivery(at time.Duration) {
 // Fault records a fault event at virtual time at.
 func (t *RecoveryTracker) Fault(at time.Duration) {
 	t.faults = append(t.faults, at)
+}
+
+// Generated records a source generating a distinct event at virtual time at.
+func (t *RecoveryTracker) Generated(at time.Duration) {
+	t.generated = append(t.generated, at)
 }
 
 // Finalize reduces the recorded timestamps over the measurement window
@@ -98,6 +140,8 @@ func (t *RecoveryTracker) Finalize(from, to time.Duration) *Recovery {
 
 	var ttrSum time.Duration
 	var dipSum float64
+	var ttrCounts []int
+	var outages []interval
 	dips := 0
 	for _, f := range t.faults {
 		if f < from || f >= to {
@@ -113,6 +157,20 @@ func (t *RecoveryTracker) Finalize(from, to time.Duration) *Recovery {
 			if ttr > r.MaxTimeToRepair {
 				r.MaxTimeToRepair = ttr
 			}
+			if ttrCounts == nil {
+				ttrCounts = make([]int, len(ttrBounds)+1)
+			}
+			b := len(ttrBounds) // overflow
+			for bi, bound := range ttrBounds {
+				if ttr <= bound {
+					b = bi
+					break
+				}
+			}
+			ttrCounts[b]++
+			outages = append(outages, interval{f, inWindow[i]})
+		} else {
+			outages = append(outages, interval{f, to})
 		}
 		// Dip depth: delivery rate over [f, f+window)∩[from,to) vs steady.
 		if steadyRate > 0 {
@@ -138,5 +196,48 @@ func (t *RecoveryTracker) Finalize(from, to time.Duration) *Recovery {
 	if dips > 0 {
 		r.MeanDipDepth = dipSum / float64(dips)
 	}
+	if ttrCounts != nil {
+		r.TTRBuckets = make([]TTRBucket, len(ttrCounts))
+		for i, n := range ttrCounts {
+			b := TTRBucket{Count: n}
+			if i < len(ttrBounds) {
+				b.UpTo = ttrBounds[i]
+			}
+			r.TTRBuckets[i] = b
+		}
+	}
+
+	merged := mergeIntervals(outages)
+	for _, iv := range merged {
+		r.OutageTime += iv.end - iv.start
+		// generated is appended in virtual-time order, so binary search finds
+		// the events caught inside each merged outage.
+		lo := sort.Search(len(t.generated), func(i int) bool { return t.generated[i] >= iv.start })
+		hi := sort.Search(len(t.generated), func(i int) bool { return t.generated[i] >= iv.end })
+		r.GeneratedDuringOutage += hi - lo
+	}
+	r.LostDuringOutage = int(steadyRate*r.OutageTime.Seconds() + 0.5)
 	return r
+}
+
+// interval is a half-open outage span [start, end).
+type interval struct{ start, end time.Duration }
+
+// mergeIntervals coalesces overlapping or touching intervals; the input is
+// sorted by start (faults arrive in virtual-time order).
+func mergeIntervals(ivs []interval) []interval {
+	var out []interval
+	for _, iv := range ivs {
+		if iv.end <= iv.start {
+			continue
+		}
+		if n := len(out); n > 0 && iv.start <= out[n-1].end {
+			if iv.end > out[n-1].end {
+				out[n-1].end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
 }

@@ -131,7 +131,7 @@ func TestValidate(t *testing.T) {
 		m    Message
 	}{
 		{"zero kind", Message{Bytes: 10}},
-		{"kind too large", Message{Kind: Kind(7), Bytes: 10}},
+		{"kind too large", Message{Kind: Kind(8), Bytes: 10}},
 		{"zero size", Message{Kind: KindInterest}},
 		{"data without items", Message{Kind: KindData, Bytes: 64}},
 		{"exploratory with two items", Message{

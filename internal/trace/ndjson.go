@@ -199,7 +199,7 @@ func parseKind(name string) (msg.Kind, error) {
 	if name == "" {
 		return 0, nil
 	}
-	for k := msg.KindInterest; k <= msg.KindNegReinforce; k++ {
+	for k := msg.KindInterest; k <= msg.KindRepairProbe; k++ {
 		if k.String() == name {
 			return k, nil
 		}

@@ -27,6 +27,12 @@ const (
 	// receiver and Peer the sender, mirroring OpReceive, so chaos runs are
 	// debuggable from traces alone.
 	OpDrop
+	// OpRepair is a local repair decision: Node's data-silence watchdog gave
+	// up on its reinforced upstream (Peer) for the entry identified by
+	// Interest/ID/Origin and switched (or probed) for an alternative. The
+	// chaos invariant checker uses these to excuse post-repair
+	// re-reinforcement from the stale-cycle rule.
+	OpRepair
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +44,8 @@ func (o Op) String() string {
 		return "recv"
 	case OpDrop:
 		return "drop"
+	case OpRepair:
+		return "repair"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -45,7 +53,7 @@ func (o Op) String() string {
 
 // ParseOp inverts Op.String.
 func ParseOp(name string) (Op, error) {
-	for _, o := range []Op{OpSend, OpReceive, OpDrop} {
+	for _, o := range []Op{OpSend, OpReceive, OpDrop, OpRepair} {
 		if o.String() == name {
 			return o, nil
 		}
