@@ -45,8 +45,9 @@ var figures = []struct {
 }
 
 // extraFigures are the non-Table figures handled by dedicated blocks below;
-// "scale" and "repair" are excluded from "all" (run them by name).
-var extraFigures = []string{"git-spt", "lifetime", "chaos", "scale", "repair"}
+// "scale", "repair", and "mobility" are excluded from "all" (run them by
+// name).
+var extraFigures = []string{"git-spt", "lifetime", "chaos", "scale", "repair", "mobility"}
 
 // validFigures lists every accepted -fig value, "all" last.
 func validFigures() []string {
@@ -68,7 +69,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig        = fs.String("fig", "all", `figure to regenerate: 5..10, "git-spt", "lifetime", "chaos", "scale", "repair", an ablation name, or "all" (scale and repair excluded: run them explicitly)`)
+		fig        = fs.String("fig", "all", `figure to regenerate: 5..10, "git-spt", "lifetime", "chaos", "scale", "repair", "mobility", an ablation name, or "all" (scale, repair, and mobility excluded: run them explicitly)`)
 		fields     = fs.Int("fields", 0, "random fields per data point (default: paper's 10, or 3 with -quick)")
 		duration   = fs.Duration("duration", 0, "simulated seconds per run (default 160s, 60s with -quick)")
 		quick      = fs.Bool("quick", false, "reduced preset: 3 fields, 60 s, 3 densities (scale: 500 nodes only)")
@@ -300,6 +301,36 @@ func run(args []string, out io.Writer) error {
 			}
 			if err := tbl.Manifest().Write(
 				filepath.Join(csvDir, "figrepair.manifest.json")); err != nil {
+				return err
+			}
+		}
+	}
+
+	// The mobility grid replays the dynamics scenarios with repair off and
+	// on and, like scale and repair, is not part of "all"; ask for it by
+	// name. The CSV lands as results/mobility.csv — the artifact name the
+	// experiment contract pins.
+	if *fig == "mobility" {
+		ran++
+		t0 := time.Now()
+		tbl, err := harness.Mobility(opts)
+		if err != nil {
+			return fmt.Errorf("mobility: %w", err)
+		}
+		if err := tbl.Render(out); err != nil {
+			return err
+		}
+		if v := tbl.RepairOnViolations(); v != 0 {
+			fmt.Fprintf(out, "WARNING: %d protocol-invariant violations on the repair-on arm\n", v)
+		}
+		fmt.Fprintf(out, "(mobility grid regenerated in %v, %d kernel events, %.0f events/s)\n\n",
+			time.Since(t0).Round(time.Second), tbl.Meta.Events, tbl.Meta.EventsPerSec())
+		if csvDir != "" {
+			if err := writeCSV(csvDir, "mobility.csv", tbl.CSV); err != nil {
+				return err
+			}
+			if err := tbl.Manifest().Write(
+				filepath.Join(csvDir, "mobility.manifest.json")); err != nil {
 				return err
 			}
 		}

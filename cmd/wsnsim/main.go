@@ -9,6 +9,8 @@
 //	wsnsim -scheme greedy -nodes 80 -trace reinforce,negreinforce
 //	wsnsim -scheme greedy -loss 0.1 -amnesia 10s -invariants
 //	wsnsim -scheme opportunistic -partition 60s:100s -invariants
+//	wsnsim -scheme greedy -mobility waypoint -speed 2 -repair -invariants
+//	wsnsim -scheme greedy -join-frac 0.2 -join-window 80s -leave-every 20s
 //	wsnsim -scheme greedy -telemetry
 //	wsnsim -scheme greedy -loss 0.1 -trace-out run.ndjson -snapshot-every 20s
 package main
@@ -61,6 +63,17 @@ func run(args []string, out *os.File) error {
 		rtscts    = fs.Bool("rtscts", false, "enable the 802.11 RTS/CTS handshake for unicast data")
 		repair    = fs.Bool("repair", false, "enable the self-healing layer: link-quality estimation, control retransmission, localized path repair")
 		battery   = fs.Float64("battery", 0, "per-node battery budget in joules (0 = unlimited); depleted nodes die permanently")
+
+		mobility     = fs.String("mobility", "", `mobility model: "waypoint" or "walk" ("" = static field)`)
+		mobilityTick = fs.Duration("mobility-epoch", 0, "movement epoch (0 = model default, 1s)")
+		speedMin     = fs.Float64("speed-min", 0, "waypoint leg-speed lower bound in m/s (0 = model default)")
+		speed        = fs.Float64("speed", 0, "waypoint leg-speed upper bound in m/s (0 = model default)")
+		pause        = fs.Duration("pause", -1, "waypoint pause at each destination (-1 = model default)")
+		step         = fs.Float64("step", 0, "walk per-epoch step bound in meters (0 = model default)")
+		mobileSinks  = fs.Bool("mobile-sinks", false, "let sinks move too (default: sinks stay pinned)")
+		joinFrac     = fs.Float64("join-frac", 0, "fraction of nodes absent at start that cold-join during -join-window")
+		joinWindow   = fs.Duration("join-window", 0, "window over which cold joins are drawn (required with -join-frac)")
+		leaveEvery   = fs.Duration("leave-every", 0, "mean interval between permanent departures (0 = off)")
 
 		loss        = fs.Float64("loss", 0, "i.i.d. per-reception link-loss probability (chaos layer)")
 		burst       = fs.Bool("burst", false, "bursty Gilbert-Elliott channel instead of i.i.d. loss")
@@ -146,6 +159,42 @@ func run(args []string, out *os.File) error {
 		cfg.Diffusion.Repair = diffusion.DefaultRepairParams()
 	}
 	cfg.BatteryJ = *battery
+	if *mobility != "" {
+		model, err := topology.ParseMobilityModel(*mobility)
+		if err != nil {
+			return err
+		}
+		if model != topology.MobilityNone {
+			mc := topology.DefaultMobilityConfig(model)
+			if *mobilityTick > 0 {
+				mc.Epoch = *mobilityTick
+			}
+			if *speedMin > 0 {
+				mc.SpeedMin = *speedMin
+			}
+			if *speed > 0 {
+				mc.SpeedMax = *speed
+				if mc.SpeedMin > mc.SpeedMax {
+					mc.SpeedMin = mc.SpeedMax
+				}
+			}
+			if *pause >= 0 {
+				mc.Pause = *pause
+			}
+			if *step > 0 {
+				mc.Step = *step
+			}
+			mc.MobileSinks = *mobileSinks
+			cfg.Mobility = mc
+		}
+	}
+	if *joinFrac > 0 || *leaveEvery > 0 {
+		cfg.Churn = failure.ChurnConfig{
+			JoinFraction:  *joinFrac,
+			JoinWindow:    *joinWindow,
+			LeaveInterval: *leaveEvery,
+		}
+	}
 
 	var tracers []trace.Sink
 	var rec *trace.Recorder
@@ -264,6 +313,30 @@ func run(args []string, out *os.File) error {
 			for _, v := range rep.Violations {
 				fmt.Fprintf(out, "    %v\n", v)
 			}
+		}
+	}
+
+	if mob := res.Mobility; mob != nil {
+		fmt.Fprintf(out, "\nmobility: %d epochs, %d link changes, %.0f m traveled\n",
+			mob.Epochs, mob.LinkChanges, mob.TotalDistance)
+		if mob.Epochs > 0 {
+			fmt.Fprintf(out, "  node speed                %.2f m/s mean, %.2f max\n",
+				mob.MeanSpeed, mob.MaxSpeed)
+			for _, b := range mob.SpeedBuckets {
+				if b.Nodes == 0 {
+					continue
+				}
+				label := fmt.Sprintf("<=%.1f m/s", b.UpTo)
+				if b.Last {
+					label = fmt.Sprintf("> %.1f m/s", b.UpTo)
+				}
+				fmt.Fprintf(out, "  %-12s %3d nodes, %.4f J tx+rx each\n",
+					label, b.Nodes, b.MeanCommJ)
+			}
+		}
+		if mob.Joins > 0 || mob.Departures > 0 {
+			fmt.Fprintf(out, "  churn                     %d joins, %d departures\n",
+				mob.Joins, mob.Departures)
 		}
 	}
 

@@ -21,8 +21,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -85,6 +87,36 @@ func TestFig5QuickRepeatable(t *testing.T) {
 	if !bytes.Equal(a, b) {
 		t.Fatalf("identical seeds produced different CSVs:\n%s\nvs\n%s", a, b)
 	}
+}
+
+// mobilityQuickCSV runs the one-field quick mobility grid and returns its
+// CSV — every dynamics scenario (walk, waypoint, churn) with repair off and
+// on, so the golden pins mover advancement, incremental neighbor rebuilds,
+// and churn scheduling alongside the protocol outcomes.
+func mobilityQuickCSV(t *testing.T) []byte {
+	t.Helper()
+	opts := harness.QuickOptions()
+	opts.Fields = 1
+	opts.Duration = 20 * time.Second
+	tbl, err := harness.Mobility(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMobilityQuickGoldenCSV asserts the quick mobility-grid CSV is
+// byte-identical to the committed capture at the same seed — the dynamics
+// counterpart of TestFig5QuickGoldenCSV.
+func TestMobilityQuickGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick mobility grid; skipped with -short")
+	}
+	compareGolden(t, filepath.Join("testdata", "mobility_quick.golden.csv"), mobilityQuickCSV(t))
 }
 
 // telemetryLines runs one instrumented quick simulation and renders every
@@ -167,6 +199,61 @@ func TestNDJSONTraceRepeatable(t *testing.T) {
 		for i := range al {
 			if i >= len(bl) || al[i] != bl[i] {
 				t.Fatalf("traces diverge at line %d:\n run A: %s\n run B: %s", i+1, al[i], bl[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// mobileNDJSONTrace runs one instrumented simulation under random-waypoint
+// mobility plus population churn and returns the raw NDJSON trace bytes.
+// Movement epochs, incremental neighbor rebuilds, cold joins, and permanent
+// departures all draw from the kernel RNG, so a byte-identical rerun proves
+// the dynamics layer kept the (seed, config) determinism contract.
+func mobileNDJSONTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	nd := trace.NewNDJSON(&buf)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 13
+	cfg.Duration = 40 * time.Second
+	cfg.Mobility = topology.DefaultMobilityConfig(topology.MobilityWaypoint)
+	cfg.Churn = failure.ChurnConfig{
+		JoinFraction:  0.15,
+		JoinWindow:    15 * time.Second,
+		LeaveInterval: 10 * time.Second,
+	}
+	cfg.Tracer = nd
+	cfg.Telemetry = &obs.Config{SnapshotEvery: 15 * time.Second}
+	out, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if out.Mobility == nil || out.Mobility.LinkChanges == 0 {
+		t.Fatal("mobile run produced no adjacency changes; trace would not exercise the dynamics layer")
+	}
+	return buf.Bytes()
+}
+
+// TestMobileNDJSONTraceRepeatable asserts two identically-seeded mobile,
+// churning runs emit byte-identical NDJSON traces — the dynamics
+// counterpart of TestNDJSONTraceRepeatable.
+func TestMobileNDJSONTraceRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two instrumented mobile runs; skipped with -short")
+	}
+	a, b := mobileNDJSONTrace(t), mobileNDJSONTrace(t)
+	if !bytes.Equal(a, b) {
+		al, bl := strings.Split(string(a), "\n"), strings.Split(string(b), "\n")
+		for i := range al {
+			if i >= len(bl) || al[i] != bl[i] {
+				t.Fatalf("mobile traces diverge at line %d:\n run A: %s\n run B: %s", i+1, al[i], bl[i])
 			}
 		}
 		t.Fatalf("trace lengths differ: %d vs %d bytes", len(a), len(b))

@@ -270,8 +270,9 @@ type Engine struct {
 	asym    map[link]bool
 	gilbert map[link]*geState
 
-	crashes int
-	bound   bool
+	crashes    int
+	topoFaults int
+	bound      bool
 }
 
 type link struct{ from, to topology.NodeID }
@@ -292,7 +293,7 @@ func New(kernel *sim.Kernel, net *mac.Network, field *topology.Field, cfg Config
 		recovery: metrics.NewRecoveryTracker(cfg.RecoveryWindow),
 	}
 	if cfg.CheckInvariants {
-		e.checker = newChecker(kernel, net, field.Len())
+		e.checker = newChecker(kernel, net, field)
 	}
 	return e, nil
 }
@@ -460,6 +461,18 @@ func (e *Engine) linkFilter(from, to topology.NodeID) bool {
 	return true
 }
 
+// TopologyFault stamps one topology-driven fault event — a mobility epoch
+// that changed the adjacency, or a churn departure — on the recovery tracker,
+// so time-to-repair and delivery-dip metrics cover dynamics the engine does
+// not inject itself. Safe to call any time between Bind and Finish.
+func (e *Engine) TopologyFault() {
+	e.topoFaults++
+	e.recovery.Fault(e.kernel.Now())
+	if e.checker != nil {
+		e.checker.TopologyChanged()
+	}
+}
+
 // scheduleCrash arms the next crash fault with an exponential inter-arrival.
 func (e *Engine) scheduleCrash() {
 	d := time.Duration(e.kernel.Rand().ExpFloat64() * float64(e.cfg.Amnesia.MeanInterval))
@@ -509,15 +522,19 @@ type Report struct {
 	// suppressed by the loss models and partitions.
 	Crashes  int
 	LinkLoss int
+	// TopologyFaults counts fault events stamped via TopologyFault (mobility
+	// adjacency changes and churn departures).
+	TopologyFaults int
 }
 
 // Finish reduces the run's observations over the measurement window
 // [from, to). Call once, after the kernel run completes.
 func (e *Engine) Finish(from, to time.Duration) *Report {
 	r := &Report{
-		Crashes:  e.crashes,
-		LinkLoss: e.net.Stats().LinkLoss,
-		Recovery: e.recovery.Finalize(from, to),
+		Crashes:        e.crashes,
+		TopologyFaults: e.topoFaults,
+		LinkLoss:       e.net.Stats().LinkLoss,
+		Recovery:       e.recovery.Finalize(from, to),
 	}
 	if e.checker != nil {
 		r.Violations = e.checker.Violations()

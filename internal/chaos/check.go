@@ -24,7 +24,10 @@ import (
 //     exploratory entry never increases within a stream — a node's
 //     self-originated emissions (§4.1 source rule) and its forwarding of a
 //     foreign origin are independent streams — and a forwarded C never
-//     exceeds the minimum C received for that entry;
+//     exceeds the minimum C received for that entry. Both rules hold only
+//     on a stable topology: after an adjacency change (mobility epoch,
+//     churn departure) baselines are re-anchored and enforcement pauses
+//     for a grace window while gradients re-form (see topoGrace);
 //   - no persistent gradient cycle: the per-entry reinforcement rule allows
 //     *transient* two-node data-gradient cycles (see the W cap in the
 //     aggregation path), but truncation must dissolve any cycle it can see;
@@ -45,6 +48,7 @@ import (
 type Checker struct {
 	kernel *sim.Kernel
 	net    *mac.Network
+	field  *topology.Field
 	nodes  int
 
 	trees     TreeSource
@@ -70,6 +74,12 @@ type Checker struct {
 	// as a fresh/stale cycle would punish exactly the recovery behavior the
 	// self-healing layer exists to provide.
 	repairAt map[topology.NodeID]time.Duration
+
+	// lastTopo is when the adjacency last changed (mobility epoch or churn
+	// departure). Cost baselines established before it are re-anchored, not
+	// enforced: a topology change legitimately lengthens paths, so cost
+	// monotonicity is an invariant only between changes.
+	lastTopo time.Duration
 }
 
 // edge is a directed data-gradient link (data flows from -> to).
@@ -96,6 +106,14 @@ const (
 	// excused: two audit periods, matching the persistence evidence the
 	// stale-cycle rule itself requires.
 	repairGrace = 2 * auditPeriod
+
+	// topoGrace is how long after an adjacency change the cost-monotonicity
+	// rules stay observed-but-unenforced: gradient re-formation over the new
+	// topology takes several protocol exchanges, and each can legitimately
+	// raise a cost. Under continuous mobility the rules are effectively off —
+	// which is honest, as cost monotonicity is only an invariant of a stable
+	// topology.
+	topoGrace = 2 * auditPeriod
 )
 
 // streamKey identifies one node's send stream for one exploratory entry.
@@ -121,11 +139,12 @@ type costState struct {
 	first time.Duration
 }
 
-func newChecker(kernel *sim.Kernel, net *mac.Network, nodes int) *Checker {
+func newChecker(kernel *sim.Kernel, net *mac.Network, field *topology.Field) *Checker {
 	return &Checker{
-		kernel:  kernel,
-		net:     net,
-		nodes:   nodes,
+		kernel:    kernel,
+		net:       net,
+		field:     field,
+		nodes:     field.Len(),
 		seen:      make(map[topology.NodeID]map[msg.ItemKey]bool),
 		streams:   make(map[streamKey]*costState),
 		recvMin:   make(map[recvKey]*costState),
@@ -197,22 +216,30 @@ func (c *Checker) Record(ev trace.Event) {
 	}
 }
 
+// TopologyChanged invalidates the cost-monotonicity baselines: gradients
+// re-form over the new adjacency, so a higher C is the expected response,
+// not a violation. The engine stamps it on every effective mobility epoch
+// and churn departure via TopologyFault.
+func (c *Checker) TopologyChanged() { c.lastTopo = c.kernel.Now() }
+
 func (c *Checker) checkIncCostSend(ev trace.Event) {
+	enforce := c.lastTopo == 0 || ev.At-c.lastTopo > topoGrace
 	k := streamKey{ev.Node, ev.Interest, ev.ID, ev.Origin == ev.Node}
 	if !k.selfOrigin {
 		rk := recvKey{ev.Node, ev.Interest, ev.ID}
-		if rm := c.recvMin[rk]; rm != nil && ev.At-rm.first <= c.ttl() && ev.C > rm.c {
+		if rm := c.recvMin[rk]; rm != nil && rm.first >= c.lastTopo &&
+			ev.At-rm.first <= c.ttl() && ev.C > rm.c && enforce {
 			c.violate("inccost-above-received",
 				fmt.Sprintf("node %d forwarded C=%d for entry %d, above received minimum %d",
 					ev.Node, ev.C, ev.ID, rm.c))
 		}
 	}
 	s := c.streams[k]
-	if s == nil || ev.At-s.first > c.ttl() {
+	if s == nil || ev.At-s.first > c.ttl() || s.first < c.lastTopo {
 		c.streams[k] = &costState{c: ev.C, first: ev.At}
 		return
 	}
-	if ev.C > s.c {
+	if ev.C > s.c && enforce {
 		c.violate("inccost-increase",
 			fmt.Sprintf("node %d raised C %d -> %d for entry %d (self-origin=%v)",
 				ev.Node, s.c, ev.C, ev.ID, k.selfOrigin))
@@ -223,7 +250,7 @@ func (c *Checker) checkIncCostSend(ev trace.Event) {
 func (c *Checker) noteIncCostReceive(ev trace.Event) {
 	k := recvKey{ev.Node, ev.Interest, ev.ID}
 	rm := c.recvMin[k]
-	if rm == nil || ev.At-rm.first > c.ttl() {
+	if rm == nil || ev.At-rm.first > c.ttl() || rm.first < c.lastTopo {
 		c.recvMin[k] = &costState{c: ev.C, first: ev.At}
 		return
 	}
@@ -309,12 +336,19 @@ func (c *Checker) recentlyRepaired(cycle []topology.NodeID) bool {
 // had its upstream in a truncation window), and at least one edge carried
 // exclusively duplicates over that span — the evidence the truncation rule
 // must act on. An all-fresh cycle is legal: truncation spares senders that
-// deliver new items, and duplicate suppression bounds the circulation.
+// deliver new items, and duplicate suppression bounds the circulation. A
+// cycle with an edge whose endpoints have moved out of radio range is also
+// legal: no frame can traverse that edge any more, so the gradient is
+// stranded protocol state awaiting expiry — mobility is a fault injected on
+// the protocol, not a truncation failure.
 func (c *Checker) cycleActive(cycle []topology.NodeID) bool {
 	cutoff := c.kernel.Now() - auditPeriod
 	staleEdge := false
 	for i, u := range cycle {
 		v := cycle[(i+1)%len(cycle)]
+		if !c.field.InRange(u, v) {
+			return false
+		}
 		e := edge{u, v}
 		if c.lastLink[e] < cutoff {
 			return false

@@ -38,7 +38,7 @@ func checkerFixture(t *testing.T) (*sim.Kernel, *Checker) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := newChecker(kernel, net, 3)
+	c := newChecker(kernel, net, field)
 	c.bind(ringTrees{}, 1, 0)
 	return kernel, c
 }
@@ -103,6 +103,52 @@ func TestCheckerExcusesRepairedCycle(t *testing.T) {
 	kernel.Run(21 * time.Second)
 	if c.ViolationCount() != 1 {
 		t.Fatalf("violations = %d after grace expiry, want 1: %v",
+			c.ViolationCount(), c.Violations())
+	}
+}
+
+// TestCheckerExcusesOutOfRangeCycle pins the mobility interaction: a stale
+// cycle with an edge whose endpoints moved out of radio range is stranded
+// protocol state, not a truncation failure — and is flagged again once the
+// nodes move back into range and the staleness evidence re-accumulates.
+func TestCheckerExcusesOutOfRangeCycle(t *testing.T) {
+	kernel := sim.NewKernel(1)
+	field, err := topology.FromPositions(geom.Square(0, 0, 1000), 100,
+		[]geom.Point{{X: 0, Y: 0}, {X: 30, Y: 0}, {X: 60, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := mac.New(kernel, field, energy.PaperModel(), mac.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newChecker(kernel, net, field)
+	c.bind(ringTrees{}, 1, 0)
+
+	kernel.Schedule(4500*time.Millisecond, func() { staleRound(c, kernel.Now()) })
+	kernel.Schedule(5*time.Second, c.audit)
+	// Node 2 wanders away before the second audit: edges 1->2 and 2->0 can no
+	// longer carry frames, so the surviving cycle is excused.
+	kernel.Schedule(7*time.Second, func() {
+		field.MoveNode(2, geom.Point{X: 900, Y: 900})
+	})
+	kernel.Schedule(9500*time.Millisecond, func() { staleRound(c, kernel.Now()) })
+	kernel.Schedule(10*time.Second, c.audit)
+	kernel.Schedule(10500*time.Millisecond, func() {
+		if c.ViolationCount() != 0 {
+			t.Errorf("violations = %d at 10.5s, want 0 (edge out of range): %v",
+				c.ViolationCount(), c.Violations())
+		}
+	})
+	// It comes back: the stale evidence re-accumulates and the rule fires.
+	kernel.Schedule(12*time.Second, func() {
+		field.MoveNode(2, geom.Point{X: 60, Y: 0})
+	})
+	kernel.Schedule(14500*time.Millisecond, func() { staleRound(c, kernel.Now()) })
+	kernel.Schedule(15*time.Second, c.audit)
+	kernel.Run(16 * time.Second)
+	if c.ViolationCount() != 1 {
+		t.Fatalf("violations = %d after the cycle returned in range, want 1: %v",
 			c.ViolationCount(), c.Violations())
 	}
 }

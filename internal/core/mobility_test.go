@@ -1,0 +1,144 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/diffusion"
+	"repro/internal/failure"
+	"repro/internal/topology"
+)
+
+// mobileCfg is a quick mobile-run configuration: waypoint movement at
+// walking pace, one-second epochs.
+func mobileCfg(scheme Scheme) Config {
+	cfg := quickCfg(scheme)
+	cfg.Mobility = topology.DefaultMobilityConfig(topology.MobilityWaypoint)
+	return cfg
+}
+
+func TestRunWithMobility(t *testing.T) {
+	cfg := mobileCfg(SchemeGreedy)
+	cfg.Seed = 7
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.Mobility
+	if m == nil {
+		t.Fatal("mobile run produced no mobility report")
+	}
+	if m.Epochs == 0 || m.TotalDistance == 0 {
+		t.Fatalf("no movement recorded: %+v", m)
+	}
+	if m.MeanSpeed <= 0 || m.MaxSpeed > cfg.Mobility.SpeedMax {
+		t.Fatalf("speeds out of model bounds: mean=%v max=%v (cap %v)",
+			m.MeanSpeed, m.MaxSpeed, cfg.Mobility.SpeedMax)
+	}
+	if out.Metrics.DeliveryRatio <= 0 {
+		t.Fatalf("mobile network delivered nothing: %+v", out.Metrics)
+	}
+	var bucketed int
+	for _, b := range m.SpeedBuckets {
+		bucketed += b.Nodes
+	}
+	if bucketed != cfg.Nodes {
+		t.Fatalf("speed buckets cover %d nodes, want %d", bucketed, cfg.Nodes)
+	}
+}
+
+func TestRunWithChurn(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Seed = 11
+	cfg.Duration = 60 * time.Second
+	cfg.Churn = failure.ChurnConfig{
+		JoinFraction:  0.2,
+		JoinWindow:    30 * time.Second,
+		LeaveInterval: 15 * time.Second,
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.Mobility
+	if m == nil {
+		t.Fatal("churn run produced no mobility report")
+	}
+	if m.Joins == 0 {
+		t.Fatalf("no cold joins over the window: %+v", m)
+	}
+	if out.Metrics.DeliveryRatio <= 0 {
+		t.Fatalf("churning network delivered nothing: %+v", out.Metrics)
+	}
+}
+
+// TestRunDeterminismWithMobility extends the determinism contract to the
+// dynamic-topology path: movement draws, churn draws, and the incremental
+// neighbor rebuilds all ride the kernel RNG, so one seed must reproduce the
+// run exactly.
+func TestRunDeterminismWithMobility(t *testing.T) {
+	cfg := mobileCfg(SchemeGreedy)
+	cfg.Seed = 21
+	cfg.Churn = failure.ChurnConfig{JoinFraction: 0.15, JoinWindow: 15 * time.Second}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Fatalf("same seed with mobility diverged:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if !reflect.DeepEqual(a.Mobility, b.Mobility) {
+		t.Fatalf("mobility reports diverged:\n%+v\n%+v", a.Mobility, b.Mobility)
+	}
+	if !reflect.DeepEqual(a.MAC, b.MAC) {
+		t.Fatalf("MAC stats diverged under mobility")
+	}
+}
+
+// TestRunMobilityWithRepairCleanInvariants is the acceptance pin: a mobile,
+// churning run with localized repair and the invariant checker on must
+// finish with zero violations — moved-out-of-range gradients are stranded
+// state, not protocol bugs.
+func TestRunMobilityWithRepairCleanInvariants(t *testing.T) {
+	cfg := mobileCfg(SchemeGreedy)
+	cfg.Seed = 3
+	cfg.Duration = 60 * time.Second
+	cfg.Diffusion.Repair = diffusion.DefaultRepairParams()
+	cfg.Diffusion.Repair.Enabled = true
+	cfg.Churn = failure.ChurnConfig{JoinFraction: 0.1, JoinWindow: 20 * time.Second}
+	cfg.Chaos = &chaos.Config{CheckInvariants: true}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Chaos == nil {
+		t.Fatal("chaos report missing")
+	}
+	if out.Chaos.ViolationCount != 0 {
+		t.Fatalf("invariant violations under mobility+repair: %v", out.Chaos.Violations)
+	}
+	if out.Chaos.TopologyFaults == 0 {
+		t.Fatal("no topology faults stamped despite movement and churn")
+	}
+}
+
+// TestRunStaticWithMobilityConfigInert pins the opt-in contract: the zero
+// Mobility/Churn values must reproduce the historical static run bit for
+// bit (the same guarantee Params.Repair gives).
+func TestRunStaticWithMobilityConfigInert(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Seed = 5
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mobility != nil {
+		t.Fatalf("static run grew a mobility report: %+v", a.Mobility)
+	}
+}

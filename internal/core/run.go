@@ -125,6 +125,18 @@ type Config struct {
 	// is a configuration error.
 	Chaos *chaos.Config
 
+	// Mobility, when enabled, makes the topology dynamic: nodes move under
+	// the configured model on a kernel-driven epoch timer, and every layer
+	// consulting the field (MAC range checks, neighbor lists, the chaos
+	// cycle audit) sees live positions. The zero value keeps the historical
+	// static field bit for bit.
+	Mobility topology.MobilityConfig
+
+	// Churn, when enabled, adds population churn on top of the failure
+	// schedule: cold-joining nodes that boot with empty soft state and
+	// permanent departures. The zero value is inert.
+	Churn failure.ChurnConfig
+
 	// Duration is the simulated time; events generated in the final
 	// DrainTail are not counted (they would have no time to arrive).
 	Duration  time.Duration
@@ -225,6 +237,12 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.Mobility.Validate(); err != nil {
+		return err
+	}
+	if err := c.Churn.Validate(); err != nil {
+		return err
+	}
 	if err := c.Diffusion.Validate(); err != nil {
 		return err
 	}
@@ -256,6 +274,9 @@ type Output struct {
 	// Chaos is the fault-injection report (invariant violations, recovery
 	// metrics, injection counters) when Config.Chaos is set; nil otherwise.
 	Chaos *chaos.Report
+	// Mobility summarizes movement and churn when Config.Mobility or
+	// Config.Churn is enabled; nil otherwise.
+	Mobility *MobilityReport
 	// Repair is the self-healing layer's counter snapshot when
 	// Config.Diffusion.Repair.Enabled is set on a diffusion scheme; nil
 	// otherwise.
@@ -265,6 +286,25 @@ type Output struct {
 	// Telemetry is the metrics-registry snapshot when Config.Telemetry is
 	// set; nil otherwise.
 	Telemetry []obs.Metric
+}
+
+// MobilityReport summarizes a run's topology dynamics.
+type MobilityReport struct {
+	// Epochs is how many movement epochs ran; LinkChanges the total directed
+	// adjacency changes they caused.
+	Epochs      int
+	LinkChanges int
+	// MeanSpeed and MaxSpeed are per-node average speeds over the run in
+	// m/s; TotalDistance is the summed path length in meters.
+	MeanSpeed     float64
+	MaxSpeed      float64
+	TotalDistance float64
+	// SpeedBuckets correlates per-node communication energy with node speed
+	// (metrics.DefaultSpeedBounds).
+	SpeedBuckets []metrics.SpeedBucket
+	// Joins and Departures count churn events.
+	Joins      int
+	Departures int
 }
 
 // Lifetime summarizes battery-depletion outcomes of a run.
@@ -427,6 +467,54 @@ func Run(cfg Config) (Output, error) {
 		})
 	}
 
+	// Mobility: a kernel-driven epoch timer advances every mobile node and,
+	// when the adjacency actually changed, stamps a topology fault so the
+	// recovery metrics time the protocol's reaction to movement.
+	var mover *topology.Mover
+	if cfg.Mobility.Enabled() {
+		pinned := append([]topology.NodeID(nil), assign.Sinks...)
+		if cfg.Mobility.MobileSinks {
+			pinned = nil
+		}
+		mover, err = topology.NewMover(field, cfg.Mobility, pinned)
+		if err != nil {
+			return Output{}, err
+		}
+		var epoch func()
+		epoch = func() {
+			changed := mover.Advance(kernel.Now(), kernel.Rand())
+			if changed > 0 && engine != nil {
+				engine.TopologyFault()
+			}
+			kernel.Schedule(cfg.Mobility.Epoch, epoch)
+		}
+		kernel.Schedule(cfg.Mobility.Epoch, epoch)
+	}
+
+	// Churn: joiners cold-boot with wiped soft state (and a reset invariant
+	// checker — the node legitimately knows nothing); departures are
+	// topology faults for the recovery metrics.
+	var churn *failure.Churn
+	if cfg.Churn.Enabled() {
+		churn, err = failure.NewChurn(kernel, sched, cfg.Churn)
+		if err != nil {
+			return Output{}, err
+		}
+		churn.SetOnJoin(func(id topology.NodeID) {
+			if rt != nil {
+				rt.Amnesia(id)
+			}
+			if engine != nil {
+				if ck := engine.Checker(); ck != nil {
+					ck.NodeRebooted(id)
+				}
+			}
+		})
+		if engine != nil {
+			churn.SetOnLeave(func(topology.NodeID) { engine.TopologyFault() })
+		}
+	}
+
 	var life Lifetime
 	if cfg.BatteryJ > 0 {
 		protected := make(map[topology.NodeID]bool, len(fcfg.Protect))
@@ -456,6 +544,9 @@ func Run(cfg Config) (Output, error) {
 
 	startRun()
 	sched.Start()
+	if churn != nil {
+		churn.Start()
+	}
 	if engine != nil {
 		engine.Start()
 	}
@@ -513,6 +604,24 @@ func Run(cfg Config) (Output, error) {
 		sent[msg.KindData] = mcast.Sent()
 	}
 
+	var mobility *MobilityReport
+	if mover != nil || churn != nil {
+		mobility = &MobilityReport{}
+		if mover != nil {
+			elapsed := cfg.Duration
+			mobility.Epochs = mover.Epochs()
+			mobility.LinkChanges = mover.LinkChanges()
+			mobility.MeanSpeed = mover.MeanSpeed(elapsed)
+			mobility.MaxSpeed = mover.MaxSpeed(elapsed)
+			mobility.TotalDistance = mover.TotalDistance()
+			mobility.SpeedBuckets = metrics.SpeedProfile(mover.Speeds(elapsed), perNodeComm, nil)
+		}
+		if churn != nil {
+			mobility.Joins = churn.Joins()
+			mobility.Departures = churn.Departures()
+		}
+	}
+
 	kstats := KernelStats{
 		Events:         kernel.Processed(),
 		QueueHighWater: kernel.QueueHighWater(),
@@ -540,6 +649,7 @@ func Run(cfg Config) (Output, error) {
 		Trees:      trees,
 		Lifetime:   life,
 		Chaos:      report,
+		Mobility:   mobility,
 		Repair:     repair,
 		Kernel:     kstats,
 		Telemetry:  telemetry,

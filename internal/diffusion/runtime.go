@@ -61,15 +61,15 @@ func (r Roles) Validate(n int) error {
 // filled it. Maps are lazily created and cleared in place; slices grow to
 // the high-water mark and stay.
 type scratch struct {
-	sources  []topology.NodeID          // activeSources results
-	grads    []topology.NodeID          // dataGradients results
-	healthy  []topology.NodeID          // sendDataHealing quality filter
-	lqDrop   []topology.NodeID          // repairEntry link-quality exclusions
-	have     map[topology.NodeID]bool   // sufficientForFlush coverage test
-	exclude  map[topology.NodeID]bool   // reinforceEntry merged exclusions
-	seen     map[msg.ItemKey]bool       // flush payload dedup
-	universe []msg.ItemKey              // flush set-cover universe
-	keys     []msg.ItemKey              // flush set-cover family backing
+	sources  []topology.NodeID        // activeSources results
+	grads    []topology.NodeID        // dataGradients results
+	healthy  []topology.NodeID        // sendDataHealing quality filter
+	lqDrop   []topology.NodeID        // repairEntry link-quality exclusions
+	have     map[topology.NodeID]bool // sufficientForFlush coverage test
+	exclude  map[topology.NodeID]bool // reinforceEntry merged exclusions
+	seen     map[msg.ItemKey]bool     // flush payload dedup
+	universe []msg.ItemKey            // flush set-cover universe
+	keys     []msg.ItemKey            // flush set-cover family backing
 	family   []setcover.Subset[msg.ItemKey]
 }
 

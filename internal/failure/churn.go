@@ -1,0 +1,171 @@
+package failure
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// ChurnConfig describes population churn: cold-joining nodes and permanent
+// departures. The zero value is inert. Churn is distinct from the §5.3
+// crash/revive dynamics in both directions: a joining node has never run —
+// it boots with empty protocol soft state (the driver's OnJoin hook wipes
+// any residue, exactly like a crash with amnesia) — and a departed node is
+// gone for good (Kill, not a wave member awaiting revival).
+type ChurnConfig struct {
+	// JoinFraction of the unprotected population is absent at the start of
+	// the run and cold-joins during JoinWindow.
+	JoinFraction float64
+	// JoinWindow is the interval over which join times are drawn uniformly.
+	JoinWindow time.Duration
+	// LeaveInterval is the mean exponential gap between permanent
+	// departures, each removing a uniform live unprotected node; zero
+	// disables departures.
+	LeaveInterval time.Duration
+}
+
+// Enabled reports whether the configuration asks for any churn.
+func (c ChurnConfig) Enabled() bool { return c.JoinFraction > 0 || c.LeaveInterval > 0 }
+
+// Validate reports the first problem with the configuration, if any. The
+// zero value is always valid.
+func (c ChurnConfig) Validate() error {
+	switch {
+	case c.JoinFraction < 0 || c.JoinFraction >= 1:
+		return fmt.Errorf("failure: join fraction %v outside [0,1)", c.JoinFraction)
+	case c.JoinFraction > 0 && c.JoinWindow <= 0:
+		return fmt.Errorf("failure: joins enabled with non-positive window %v", c.JoinWindow)
+	case c.LeaveInterval < 0:
+		return fmt.Errorf("failure: negative leave interval %v", c.LeaveInterval)
+	default:
+		return nil
+	}
+}
+
+// Churn drives join/leave dynamics on top of a Schedule, sharing its up-time
+// accounting, protection set, and permanent-death bookkeeping. All draws
+// flow through the kernel's RNG at Start, so the churn plan is deterministic
+// in the seed.
+//
+// Combining joins with failure waves is legal; the paths are idempotent. A
+// wave redraw can at worst revive a pending joiner a little early — the join
+// event then only fires the cold-boot hook again, and the accounting stays
+// exact either way.
+type Churn struct {
+	kernel *sim.Kernel
+	sched  *Schedule
+	cfg    ChurnConfig
+
+	onJoin  func(topology.NodeID)
+	onLeave func(topology.NodeID)
+
+	joins      int
+	departures int
+}
+
+// NewChurn builds a churn driver over sched. Call Start after the
+// schedule's own Start.
+func NewChurn(kernel *sim.Kernel, sched *Schedule, cfg ChurnConfig) (*Churn, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("failure: NewChurn with disabled churn config")
+	}
+	return &Churn{kernel: kernel, sched: sched, cfg: cfg}, nil
+}
+
+// SetOnJoin registers the cold-boot hook, invoked at each join after the
+// node is powered off and immediately before it powers on — wire the
+// protocol's soft-state wipe (and any checker reset) here so the node
+// provably boots empty.
+func (c *Churn) SetOnJoin(fn func(topology.NodeID)) { c.onJoin = fn }
+
+// SetOnLeave registers the departure hook, invoked just before the node is
+// permanently killed. Recovery metrics stamp fault events here.
+func (c *Churn) SetOnLeave(fn func(topology.NodeID)) { c.onLeave = fn }
+
+// Start powers the joining population off and schedules its joins, then
+// arms the departure process.
+func (c *Churn) Start() {
+	if c.cfg.JoinFraction > 0 {
+		c.drawJoiners()
+	}
+	if c.cfg.LeaveInterval > 0 {
+		c.scheduleLeave()
+	}
+}
+
+// drawJoiners picks a uniform JoinFraction subset of the unprotected living
+// population, powers it off now, and schedules each node's cold join at a
+// uniform time in (0, JoinWindow].
+func (c *Churn) drawJoiners() {
+	candidates := make([]topology.NodeID, 0, c.sched.nodes)
+	for i := 0; i < c.sched.nodes; i++ {
+		id := topology.NodeID(i)
+		if !c.sched.protect[id] && !c.sched.dead[id] {
+			candidates = append(candidates, id)
+		}
+	}
+	k := int(c.cfg.JoinFraction * float64(len(candidates)))
+	rng := c.kernel.Rand()
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+		id := candidates[i]
+		c.sched.Fail(id)
+		at := time.Duration(rng.Float64() * float64(c.cfg.JoinWindow))
+		c.kernel.Schedule(at, func() { c.join(id) })
+	}
+}
+
+// join cold-boots one node: wipe first (the node has never run — any state
+// is residue), then power on. A node that departed before its join time
+// simply never appears.
+func (c *Churn) join(id topology.NodeID) {
+	if c.sched.dead[id] {
+		return
+	}
+	c.joins++
+	if c.onJoin != nil {
+		c.onJoin(id)
+	}
+	c.sched.Revive(id)
+}
+
+// scheduleLeave arms the next permanent departure.
+func (c *Churn) scheduleLeave() {
+	d := time.Duration(c.kernel.Rand().ExpFloat64() * float64(c.cfg.LeaveInterval))
+	c.kernel.Schedule(d, c.leave)
+}
+
+// leave removes a uniform live unprotected node for good. Off nodes —
+// including pending joiners — are never drawn, so a departure is always the
+// loss of a working node.
+func (c *Churn) leave() {
+	defer c.scheduleLeave()
+	var candidates []topology.NodeID
+	for i := 0; i < c.sched.nodes; i++ {
+		id := topology.NodeID(i)
+		if !c.sched.protect[id] && !c.sched.dead[id] && c.sched.net.On(id) {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	id := candidates[c.kernel.Rand().Intn(len(candidates))]
+	c.departures++
+	if c.onLeave != nil {
+		c.onLeave(id)
+	}
+	c.sched.Kill(id)
+}
+
+// Joins returns how many nodes have cold-joined so far.
+func (c *Churn) Joins() int { return c.joins }
+
+// Departures returns how many nodes have permanently departed so far.
+func (c *Churn) Departures() int { return c.departures }

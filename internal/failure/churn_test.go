@@ -1,0 +1,205 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func TestChurnConfigZeroValueInert(t *testing.T) {
+	var cfg ChurnConfig
+	if cfg.Enabled() {
+		t.Fatal("zero ChurnConfig should be disabled")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero ChurnConfig should validate: %v", err)
+	}
+	if _, err := NewChurn(nil, nil, cfg); err == nil {
+		t.Fatal("NewChurn should reject a disabled config")
+	}
+}
+
+func TestChurnConfigValidate(t *testing.T) {
+	bad := []ChurnConfig{
+		{JoinFraction: -0.1, JoinWindow: time.Second},
+		{JoinFraction: 1.0, JoinWindow: time.Second},
+		{JoinFraction: 0.2}, // no window
+		{JoinFraction: 0.2, JoinWindow: time.Second, LeaveInterval: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestColdJoinsBootOffThenJoinInWindow(t *testing.T) {
+	k, net := testNet(t, 100)
+	s, err := New(k, net, 100, Config{Fraction: 0, Wave: time.Second,
+		Protect: []topology.NodeID{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChurn(k, s, ChurnConfig{JoinFraction: 0.25, JoinWindow: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined []topology.NodeID
+	c.SetOnJoin(func(id topology.NodeID) {
+		if net.On(id) {
+			t.Errorf("join hook for %d fired after power-on; cold boot must wipe first", id)
+		}
+		joined = append(joined, id)
+	})
+	s.Start()
+	c.Start()
+
+	// 24 unprotected nodes (int(0.25*98)) must be dark at t=0.
+	off := 0
+	for i := 0; i < 100; i++ {
+		if !net.On(topology.NodeID(i)) {
+			off++
+		}
+	}
+	if off != 24 {
+		t.Fatalf("%d nodes off at start, want 24", off)
+	}
+	if !net.On(0) || !net.On(1) {
+		t.Fatal("protected node drawn as a joiner")
+	}
+
+	k.Run(20 * time.Second)
+	s.Finish()
+	if c.Joins() != 24 || len(joined) != 24 {
+		t.Fatalf("joins = %d (hook %d), want 24", c.Joins(), len(joined))
+	}
+	for i := 0; i < 100; i++ {
+		if !net.On(topology.NodeID(i)) {
+			t.Fatalf("node %d still off after the join window", i)
+		}
+	}
+}
+
+func TestDeparturesArePermanentAndProtected(t *testing.T) {
+	k, net := testNet(t, 50)
+	s, err := New(k, net, 50, Config{Fraction: 0, Wave: time.Second,
+		Protect: []topology.NodeID{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChurn(k, s, ChurnConfig{LeaveInterval: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []topology.NodeID
+	c.SetOnLeave(func(id topology.NodeID) { left = append(left, id) })
+	s.Start()
+	c.Start()
+	k.Run(60 * time.Second)
+	s.Finish()
+
+	if c.Departures() == 0 {
+		t.Fatal("no departures over 60 s with a 2 s mean interval")
+	}
+	if c.Departures() != len(left) || c.Departures() != len(s.Killed()) {
+		t.Fatalf("departures=%d hook=%d killed=%d; must agree",
+			c.Departures(), len(left), len(s.Killed()))
+	}
+	for _, id := range left {
+		if id == 5 {
+			t.Fatal("protected node departed")
+		}
+		if net.On(id) {
+			t.Fatalf("departed node %d is back on", id)
+		}
+	}
+}
+
+// TestChurnUpTimeStillDownAtEnd is the accounting regression pin: a joiner
+// that never joins before the horizon and a departed node must both end the
+// run with exactly their closed up-time — and Finish must report it, charge
+// the meter once, and stay idempotent.
+func TestChurnUpTimeStillDownAtEnd(t *testing.T) {
+	k, net := testNet(t, 10)
+	s, err := New(k, net, 10, Config{Fraction: 0, Wave: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One joiner (int(0.1*10)=1) whose join window extends past the run.
+	c, err := NewChurn(k, s, ChurnConfig{JoinFraction: 0.1, JoinWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	c.Start()
+	var joiner topology.NodeID = -1
+	for i := 0; i < 10; i++ {
+		if !net.On(topology.NodeID(i)) {
+			joiner = topology.NodeID(i)
+		}
+	}
+	if joiner < 0 {
+		t.Fatal("no joiner drawn")
+	}
+	// And one explicit departure at t=30s.
+	departed := topology.NodeID((int(joiner) + 1) % 10)
+	k.Schedule(30*time.Second, func() { s.Kill(departed) })
+
+	k.Run(100 * time.Second)
+	s.Finish()
+
+	if got := s.UpTime(joiner); got != 0 {
+		t.Fatalf("never-joined node UpTime = %v, want 0 (still down at run end)", got)
+	}
+	if got := s.UpTime(departed); got != 30*time.Second {
+		t.Fatalf("departed node UpTime = %v, want exactly 30s", got)
+	}
+	if got := net.Meter(joiner).UpTime(); got != 0 {
+		t.Fatalf("never-joined node meter up-time = %v, want 0", got)
+	}
+	if got := net.Meter(departed).UpTime(); got != 30*time.Second {
+		t.Fatalf("departed node meter up-time = %v, want 30s", got)
+	}
+	// Finish is idempotent: a second call must not double-charge the meters
+	// and UpTime keeps reporting the final totals.
+	s.Finish()
+	if got := net.Meter(departed).UpTime(); got != 30*time.Second {
+		t.Fatalf("double Finish changed meter up-time to %v", got)
+	}
+	if got := s.UpTime(departed); got != 30*time.Second {
+		t.Fatalf("UpTime after double Finish = %v, want 30s", got)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	run := func() ([]topology.NodeID, int) {
+		k, net := testNet(t, 80)
+		s, err := New(k, net, 80, Config{Fraction: 0, Wave: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewChurn(k, s, ChurnConfig{
+			JoinFraction: 0.2, JoinWindow: 30 * time.Second, LeaveInterval: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var joined []topology.NodeID
+		c.SetOnJoin(func(id topology.NodeID) { joined = append(joined, id) })
+		s.Start()
+		c.Start()
+		k.Run(120 * time.Second)
+		return joined, c.Departures()
+	}
+	j1, d1 := run()
+	j2, d2 := run()
+	if d1 != d2 || len(j1) != len(j2) {
+		t.Fatalf("churn diverged: %d/%d joins, %d/%d departures", len(j1), len(j2), d1, d2)
+	}
+	for i := range j1 {
+		if j1[i] != j2[i] {
+			t.Fatalf("join order diverged at %d: %v vs %v", i, j1[i], j2[i])
+		}
+	}
+}

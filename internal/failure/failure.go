@@ -52,13 +52,14 @@ type Schedule struct {
 	cfg     Config
 	protect map[topology.NodeID]bool
 
-	upSince []time.Duration // valid while node is on
-	upTotal []time.Duration
-	down    []topology.NodeID // currently failed wave
-	killed  []topology.NodeID // permanently dead (battery depletion)
-	dead    map[topology.NodeID]bool
-	waves   int
-	onWave  func(down []topology.NodeID)
+	upSince  []time.Duration // valid while node is on
+	upTotal  []time.Duration
+	down     []topology.NodeID // currently failed wave
+	killed   []topology.NodeID // permanently dead (battery depletion)
+	dead     map[topology.NodeID]bool
+	waves    int
+	onWave   func(down []topology.NodeID)
+	finished bool
 }
 
 // SetOnWave registers a callback invoked after each wave redraw with the
@@ -192,9 +193,16 @@ func (s *Schedule) Down() []topology.NodeID {
 }
 
 // Finish closes the accounting at the current instant and charges each
-// node's idle up-time to its energy meter. Call exactly once, after the
-// kernel run completes.
+// node's idle up-time to its energy meter. Call once after the kernel run
+// completes; a second call is a no-op, so the meters can never be charged
+// twice. Nodes still down at the end (wave-failed, killed, or never joined)
+// are charged exactly their closed intervals — their running upTotal already
+// holds the truth, which UpTime keeps reporting after Finish.
 func (s *Schedule) Finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
 	now := s.kernel.Now()
 	for i := 0; i < s.nodes; i++ {
 		id := topology.NodeID(i)
@@ -203,10 +211,10 @@ func (s *Schedule) Finish() {
 			s.upSince[id] = now
 		}
 		s.net.Meter(id).AddUpTime(s.upTotal[id])
-		s.upTotal[id] = 0
 	}
 }
 
-// UpTime returns node id's accumulated powered-on time so far (not counting
-// an open interval if the node is currently on).
+// UpTime returns node id's accumulated powered-on time: the closed intervals
+// so far (an open interval of a currently-on node is not counted), or the
+// final total once Finish has run.
 func (s *Schedule) UpTime(id topology.NodeID) time.Duration { return s.upTotal[id] }

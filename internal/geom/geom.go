@@ -53,6 +53,23 @@ func (r Rect) Contains(p Point) bool {
 	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
 }
 
+// Clamp returns p projected onto the rectangle: coordinates outside it are
+// pulled to the nearest boundary. Mobility models use it to keep bounded
+// walks inside the deployment area.
+func (r Rect) Clamp(p Point) Point {
+	if p.X < r.MinX {
+		p.X = r.MinX
+	} else if p.X > r.MaxX {
+		p.X = r.MaxX
+	}
+	if p.Y < r.MinY {
+		p.Y = r.MinY
+	} else if p.Y > r.MaxY {
+		p.Y = r.MaxY
+	}
+	return p
+}
+
 // Sample returns a point uniformly distributed over the rectangle.
 func (r Rect) Sample(rng *rand.Rand) Point {
 	return Point{

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMobilityGrid(t *testing.T) {
+	o := Options{Fields: 1, Duration: 30 * time.Second, Nodes: []int{chaosNodes}}
+	tbl, err := Mobility(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := MobilityScenarios(o.Duration)
+	if len(tbl.Rows) != 2*len(scenarios) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), 2*len(scenarios))
+	}
+	for _, r := range tbl.Rows {
+		if len(r.Ratio) != 1 {
+			t.Fatalf("%s/repair=%v has %d samples", r.Scenario, r.Repair, len(r.Ratio))
+		}
+		if r.Ratio.Mean() <= 0 {
+			t.Fatalf("%s/repair=%v delivered nothing", r.Scenario, r.Repair)
+		}
+		switch r.Scenario {
+		case "static":
+			if r.LinkChanges != 0 || r.TopoFaults != 0 {
+				t.Errorf("static arm recorded dynamics: %+v", r)
+			}
+		case "walk", "waypoint-slow", "waypoint-fast":
+			if r.LinkChanges == 0 || r.TopoFaults == 0 {
+				t.Errorf("%s arm recorded no adjacency changes: %+v", r.Scenario, r)
+			}
+			if len(r.MeanSpeed) == 0 || r.MeanSpeed.Mean() <= 0 {
+				t.Errorf("%s arm recorded no movement: %+v", r.Scenario, r)
+			}
+		case "churn":
+			if r.Joins == 0 {
+				t.Errorf("churn arm recorded no joins: %+v", r)
+			}
+		}
+	}
+	if v := tbl.RepairOnViolations(); v != 0 {
+		for _, r := range tbl.Rows {
+			if r.Repair && r.Violations > 0 {
+				t.Logf("%s: %d violations", r.Scenario, r.Violations)
+			}
+		}
+		t.Errorf("grid acceptance: %d invariant violations on the repair-on arm", v)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "figmobility") {
+		t.Fatal("render missing title")
+	}
+	var csv bytes.Buffer
+	if err := tbl.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(tbl.Rows) {
+		t.Fatalf("CSV has %d lines, want header + %d rows", len(lines), len(tbl.Rows))
+	}
+	if got := len(strings.Split(lines[0], ",")); !strings.Contains(lines[0], "mean_speed_mps") || got < 20 {
+		t.Fatalf("CSV header missing mobility columns: %s", lines[0])
+	}
+}
+
+// TestMobilityGridDeterministic pins byte-identical reruns of the quick
+// grid's CSV — the figure artifact contract.
+func TestMobilityGridDeterministic(t *testing.T) {
+	o := Options{Fields: 1, Duration: 20 * time.Second, Nodes: []int{chaosNodes}}
+	render := func() string {
+		tbl, err := Mobility(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := tbl.CSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return csv.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("grid CSV diverged across reruns:\n%s\n---\n%s", a, b)
+	}
+}

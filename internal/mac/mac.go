@@ -5,7 +5,12 @@
 // Model:
 //
 //   - Unit-disk propagation over a topology.Field; propagation delay is
-//     negligible at 200 m scales and is modeled as zero.
+//     negligible at 200 m scales and is modeled as zero. Positions may move
+//     under the mobility layer: frame starts read the field's live neighbor
+//     lists, unicast range checks (ACK, RTS/CTS decisions) consult live
+//     positions, and each in-flight frame records its receivers at airtime
+//     start so completions stay consistent when the topology shifts under
+//     them.
 //   - Carrier sense with DIFS + random slotted backoff; the contention
 //     window doubles per retry up to CWMax.
 //   - Half-duplex radios: a transmitting node cannot receive, and two
@@ -31,6 +36,7 @@ package mac
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -217,13 +223,14 @@ type UnicastOutcome func(from, to topology.NodeID, f Frame, acked bool, retries 
 // ideal unit-disk channel.
 type LinkFilter func(from, to topology.NodeID) bool
 
-// bitset is a fixed-capacity per-node flag set. Transmissions carry two,
-// sized once to the field, so marking a receiver corrupted or link-lost
-// never allocates.
+// bitset is a fixed-capacity per-node flag set. Transmissions carry three,
+// sized once to the field, so marking a receiver corrupted, link-lost, or
+// heard never allocates.
 type bitset []uint64
 
 func (b bitset) has(id topology.NodeID) bool { return b[uint(id)>>6]&(1<<(uint(id)&63)) != 0 }
 func (b bitset) set(id topology.NodeID)      { b[uint(id)>>6] |= 1 << (uint(id) & 63) }
+func (b bitset) clear(id topology.NodeID)    { b[uint(id)>>6] &^= 1 << (uint(id) & 63) }
 func (b bitset) clearAll() {
 	for i := range b {
 		b[i] = 0
@@ -232,14 +239,14 @@ func (b bitset) clearAll() {
 
 // Network simulates the shared medium for all nodes of a field.
 type Network struct {
-	kernel *sim.Kernel
-	field  *topology.Field
-	params Params
-	model  energy.Model
-	rng    *rand.Rand
-	energy []*energy.Meter
-	nodes  []*nodeState
-	stats  Stats
+	kernel  *sim.Kernel
+	field   *topology.Field
+	params  Params
+	model   energy.Model
+	rng     *rand.Rand
+	energy  []*energy.Meter
+	nodes   []*nodeState
+	stats   Stats
 	filter  LinkFilter
 	drop    DropHook
 	outcome UnicastOutcome
@@ -297,6 +304,15 @@ type transmission struct {
 	nav       time.Duration // medium reservation advertised by RTS/CTS
 	corrupted bitset
 	lost      bitset // receptions vetoed by the link filter
+
+	// heard records the receivers this frame was actually put in front of
+	// (on and in range at airtime start). End-of-airtime iterates this set
+	// rather than the live neighbor set, so a node moving during the
+	// frame's airtime cannot strand an audible entry or conjure a reception
+	// it never started. Ascending-bit iteration reproduces the sorted
+	// neighbor-scan order exactly; like corrupted and lost, the set is
+	// sized once to the field so recording a receiver never allocates.
+	heard bitset
 
 	// Completion context, interpreted per kind: owner is the transmitting
 	// node, peer the unicast counterpart an ACK/CTS answers, of the queued
@@ -422,6 +438,7 @@ func (n *Network) allocTx(kind txKind, owner *nodeState, to topology.NodeID, f F
 			net:       n,
 			corrupted: make(bitset, n.txWords),
 			lost:      make(bitset, n.txWords),
+			heard:     make(bitset, n.txWords),
 		}
 	}
 	tx.kind = kind
@@ -438,6 +455,7 @@ func (n *Network) allocTx(kind txKind, owner *nodeState, to topology.NodeID, f F
 func (n *Network) releaseTx(tx *transmission) {
 	tx.corrupted.clearAll()
 	tx.lost.clearAll()
+	tx.heard.clearAll()
 	tx.frame = Frame{}
 	tx.nav = 0
 	tx.owner, tx.peer, tx.of = nil, nil, nil
@@ -766,64 +784,90 @@ func (n *Network) begin(ns *nodeState, tx *transmission, airtime time.Duration) 
 			}
 		}
 		rs.audible = append(rs.audible, tx)
+		tx.heard.set(nb)
 	}
 	n.kernel.ScheduleRunner(airtime, tx)
 }
 
 // end removes tx from every receiver's audible set and delivers it where it
-// survived.
+// survived — exactly the receivers recorded heard at airtime start: under
+// mobility the live neighbor set can differ by the time the airtime ends,
+// and only nodes that heard the frame start can finish receiving it. The
+// walk keeps the begin()-time scan order: live neighbors first (clearing
+// their heard bits), then any receivers that moved out of range mid-frame
+// in a residual ascending-ID sweep — empty on a static field, so static
+// runs finish receptions in the exact pre-mobility order.
 func (n *Network) end(tx *transmission) {
 	senderDied := !n.nodes[tx.from].on // died mid-frame: nothing decodable
 	for _, nb := range n.field.Neighbors(tx.from) {
-		rs := n.nodes[nb]
-		idx := -1
-		for i, a := range rs.audible {
-			if a == tx {
-				idx = i
-				break
+		if tx.heard.has(nb) {
+			tx.heard.clear(nb)
+			n.finishReception(tx, nb, senderDied)
+		}
+	}
+	for w, word := range tx.heard {
+		base := topology.NodeID(w * 64)
+		for word != 0 {
+			nb := base + topology.NodeID(bits.TrailingZeros64(word))
+			word &= word - 1 // consume lowest set bit
+			tx.heard.clear(nb)
+			n.finishReception(tx, nb, senderDied)
+		}
+	}
+}
+
+// finishReception settles one receiver at the end of tx's airtime:
+// detach it from the audible set, classify losses, apply NAV for
+// handshakes, and deliver surviving payloads.
+func (n *Network) finishReception(tx *transmission, nb topology.NodeID, senderDied bool) {
+	rs := n.nodes[nb]
+	idx := -1
+	for i, a := range rs.audible {
+		if a == tx {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // receiver turned off since tx started (audible cleared)
+	}
+	rs.audible = append(rs.audible[:idx], rs.audible[idx+1:]...)
+	if !rs.on || senderDied || tx.corrupted.has(nb) || tx.lostAt(nb) {
+		// Classify the loss only when someone is listening; the reason
+		// switch is pure observability.
+		if n.drop != nil {
+			reason := RxLinkLoss
+			switch {
+			case !rs.on:
+				reason = RxReceiverOff
+			case senderDied:
+				reason = RxSenderOff
+			case tx.corrupted.has(nb):
+				reason = RxCollision
+			}
+			n.reportDrop(tx, nb, reason)
+		}
+		return
+	}
+	if tx.kind == txRTS || tx.kind == txCTS {
+		// Virtual carrier sense: third parties defer for the whole
+		// advertised exchange.
+		if tx.to != nb {
+			if until := n.kernel.Now() + tx.nav; until > rs.navUntil {
+				rs.navUntil = until
 			}
 		}
-		if idx < 0 {
-			continue // receiver was off when tx started, or turned off since
-		}
-		rs.audible = append(rs.audible[:idx], rs.audible[idx+1:]...)
-		if !rs.on || senderDied || tx.corrupted.has(nb) || tx.lostAt(nb) {
-			// Classify the loss only when someone is listening; the reason
-			// switch is pure observability.
-			if n.drop != nil {
-				reason := RxLinkLoss
-				switch {
-				case !rs.on:
-					reason = RxReceiverOff
-				case senderDied:
-					reason = RxSenderOff
-				case tx.corrupted.has(nb):
-					reason = RxCollision
-				}
-				n.reportDrop(tx, nb, reason)
-			}
-			continue
-		}
-		if tx.kind == txRTS || tx.kind == txCTS {
-			// Virtual carrier sense: third parties defer for the whole
-			// advertised exchange.
-			if tx.to != nb {
-				if until := n.kernel.Now() + tx.nav; until > rs.navUntil {
-					rs.navUntil = until
-				}
-			}
-			continue // handshake handled by the two parties' completions
-		}
-		if tx.kind == txAck {
-			continue // ACK consumption handled by the waiting sender
-		}
-		if tx.to != Broadcast && tx.to != nb {
-			continue // unicast overheard by a third party: charged, not delivered
-		}
-		if rs.recv != nil {
-			n.stats.Delivered++
-			rs.recv(tx.from, tx.frame)
-		}
+		return // handshake handled by the two parties' completions
+	}
+	if tx.kind == txAck {
+		return // ACK consumption handled by the waiting sender
+	}
+	if tx.to != Broadcast && tx.to != nb {
+		return // unicast overheard by a third party: charged, not delivered
+	}
+	if rs.recv != nil {
+		n.stats.Delivered++
+		rs.recv(tx.from, tx.frame)
 	}
 }
 

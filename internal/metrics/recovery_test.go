@@ -84,9 +84,9 @@ func TestRecoveryOverlappingOutages(t *testing.T) {
 	tr := NewRecoveryTracker(0)
 	tr.Delivery(1 * sec)
 	tr.Fault(2 * sec)
-	tr.Fault(3 * sec)       // overlaps the first outage
-	tr.Delivery(5 * sec)    // repairs both
-	tr.Fault(7 * sec)       // disjoint second outage
+	tr.Fault(3 * sec)    // overlaps the first outage
+	tr.Delivery(5 * sec) // repairs both
+	tr.Fault(7 * sec)    // disjoint second outage
 	tr.Delivery(7500 * time.Millisecond)
 	r := tr.Finalize(0, 10*sec)
 	if r.Faults != 3 || r.Repaired != 3 {
@@ -107,11 +107,11 @@ func TestRecoveryGeneratedAndLost(t *testing.T) {
 		tr.Delivery(time.Duration(i) * sec) // 5 deliveries over 10 s: 0.5/s
 	}
 	tr.Fault(6 * sec)
-	tr.Generated(5 * sec)                     // before the outage
-	tr.Generated(6 * sec)                     // at outage start: inside
-	tr.Generated(7 * sec)                     // inside
-	tr.Generated(8 * sec)                     // exactly at outage end: outside
-	tr.Delivery(8 * sec)                      // repairs at 8 s
+	tr.Generated(5 * sec) // before the outage
+	tr.Generated(6 * sec) // at outage start: inside
+	tr.Generated(7 * sec) // inside
+	tr.Generated(8 * sec) // exactly at outage end: outside
+	tr.Delivery(8 * sec)  // repairs at 8 s
 	r := tr.Finalize(0, 10*sec)
 	if r.GeneratedDuringOutage != 2 {
 		t.Fatalf("GeneratedDuringOutage = %d, want 2", r.GeneratedDuringOutage)

@@ -1,0 +1,66 @@
+package metrics
+
+// Speed-bucketed energy profile for mobile runs: how a node's movement rate
+// correlates with its communication spend. Faster nodes shed and regrow
+// gradients more often, so repair traffic should concentrate on them — the
+// profile makes that visible per run without shipping per-node dumps.
+
+// DefaultSpeedBounds splits the population at walking pace boundaries
+// (m/s): stationary-ish, slow, moderate, fast.
+var DefaultSpeedBounds = []float64{0.5, 2, 5}
+
+// SpeedBucket summarizes the nodes whose mean speed falls in
+// (previous bound, UpTo]. The final bucket's UpTo is +Inf rendered as 0 —
+// check Last instead.
+type SpeedBucket struct {
+	// UpTo is the bucket's inclusive upper speed bound in m/s; Last marks
+	// the overflow bucket, whose UpTo is the largest finite bound.
+	UpTo float64
+	Last bool
+	// Nodes is the population size; zero-node buckets report zero means.
+	Nodes int
+	// MeanSpeed is the bucket's average node speed in m/s.
+	MeanSpeed float64
+	// MeanCommJ is the bucket's average per-node communication energy.
+	MeanCommJ float64
+}
+
+// SpeedProfile buckets per-node communication energy by mean node speed.
+// speeds and commJ are parallel per-node slices; bounds must be ascending
+// (nil = DefaultSpeedBounds). One extra overflow bucket catches nodes above
+// the last bound.
+func SpeedProfile(speeds, commJ []float64, bounds []float64) []SpeedBucket {
+	if bounds == nil {
+		bounds = DefaultSpeedBounds
+	}
+	buckets := make([]SpeedBucket, len(bounds)+1)
+	for i, b := range bounds {
+		buckets[i].UpTo = b
+	}
+	buckets[len(bounds)].UpTo = bounds[len(bounds)-1]
+	buckets[len(bounds)].Last = true
+
+	n := len(speeds)
+	if len(commJ) < n {
+		n = len(commJ)
+	}
+	for i := 0; i < n; i++ {
+		k := len(bounds)
+		for j, b := range bounds {
+			if speeds[i] <= b {
+				k = j
+				break
+			}
+		}
+		buckets[k].Nodes++
+		buckets[k].MeanSpeed += speeds[i]
+		buckets[k].MeanCommJ += commJ[i]
+	}
+	for i := range buckets {
+		if buckets[i].Nodes > 0 {
+			buckets[i].MeanSpeed /= float64(buckets[i].Nodes)
+			buckets[i].MeanCommJ /= float64(buckets[i].Nodes)
+		}
+	}
+	return buckets
+}

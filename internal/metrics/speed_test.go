@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpeedProfileBuckets(t *testing.T) {
+	speeds := []float64{0, 0.4, 1.0, 2.0, 3.0, 7.5}
+	commJ := []float64{1, 3, 10, 20, 40, 80}
+	p := SpeedProfile(speeds, commJ, nil) // default bounds 0.5, 2, 5
+
+	if len(p) != 4 {
+		t.Fatalf("%d buckets, want 4", len(p))
+	}
+	want := []struct {
+		upTo      float64
+		last      bool
+		nodes     int
+		meanSpeed float64
+		meanComm  float64
+	}{
+		{0.5, false, 2, 0.2, 2}, // 0, 0.4
+		{2, false, 2, 1.5, 15},  // 1.0, 2.0 (bounds inclusive)
+		{5, false, 1, 3.0, 40},  // 3.0
+		{5, true, 1, 7.5, 80},   // 7.5 overflows
+	}
+	for i, w := range want {
+		b := p[i]
+		if b.UpTo != w.upTo || b.Last != w.last || b.Nodes != w.nodes {
+			t.Errorf("bucket %d = %+v, want upTo=%v last=%v nodes=%d", i, b, w.upTo, w.last, w.nodes)
+		}
+		if math.Abs(b.MeanSpeed-w.meanSpeed) > 1e-12 || math.Abs(b.MeanCommJ-w.meanComm) > 1e-12 {
+			t.Errorf("bucket %d means = (%v, %v), want (%v, %v)",
+				i, b.MeanSpeed, b.MeanCommJ, w.meanSpeed, w.meanComm)
+		}
+	}
+}
+
+func TestSpeedProfileEmptyAndCustomBounds(t *testing.T) {
+	p := SpeedProfile(nil, nil, []float64{1})
+	if len(p) != 2 || p[0].Nodes != 0 || p[1].Nodes != 0 {
+		t.Fatalf("empty profile = %+v, want two zero buckets", p)
+	}
+	if p[0].MeanSpeed != 0 || p[1].MeanCommJ != 0 {
+		t.Fatalf("zero-node bucket reported non-zero means: %+v", p)
+	}
+
+	p = SpeedProfile([]float64{0.5, 2}, []float64{10, 30}, []float64{1})
+	if p[0].Nodes != 1 || p[1].Nodes != 1 {
+		t.Fatalf("custom-bound split = %+v, want 1/1", p)
+	}
+	if !p[1].Last || p[1].UpTo != 1 {
+		t.Fatalf("overflow bucket = %+v, want Last with UpTo=1", p[1])
+	}
+}

@@ -21,12 +21,31 @@ import (
 // neighbors), per the diffusion design.
 type NodeID int
 
-// Field is an immutable node placement with unit-disk connectivity.
+// Field is a node placement with unit-disk connectivity. A freshly built
+// field is static; MoveNode relocates a node and incrementally rebuilds the
+// affected adjacency lists, which is how the mobility layer (see Mover)
+// keeps Neighbors and InRange consistent with current positions.
+//
+// Neighbor slices returned by Neighbors are owned by the field and remain
+// valid only until the next MoveNode call; callers that must survive a move
+// (the MAC's in-flight transmissions) record the node IDs they care about
+// instead of holding the slice.
 type Field struct {
 	area      geom.Rect
 	rng       float64 // radio range, meters
 	positions []geom.Point
 	neighbors [][]NodeID
+
+	// Persistent uniform grid (cell side = radio range) so a move only
+	// rescans the 3×3 cell neighborhood instead of rebuilding the field.
+	cols, rows int
+	cells      [][]NodeID // bucket per cell, node IDs ascending
+	cellIdx    []int      // node -> cell index
+
+	// MoveNode scratch, reused across calls so moves do not allocate in
+	// steady state.
+	oldNbr  []NodeID
+	nbrMark []bool
 }
 
 // Config describes a field to generate.
@@ -90,53 +109,138 @@ func FromPositions(area geom.Rect, radioRange float64, pts []geom.Point) (*Field
 }
 
 // buildNeighbors computes the unit-disk adjacency lists with a uniform grid
-// so generation stays near-linear in node count.
+// so generation stays near-linear in node count. The grid is kept on the
+// field afterwards so MoveNode can update adjacency incrementally.
 func (f *Field) buildNeighbors() {
 	n := len(f.positions)
 	f.neighbors = make([][]NodeID, n)
+	f.cols = int(f.area.Width()/f.rng) + 1
+	f.rows = int(f.area.Height()/f.rng) + 1
+	f.cells = make([][]NodeID, f.cols*f.rows)
+	f.cellIdx = make([]int, n)
 	if n == 0 {
 		return
 	}
-	cell := f.rng
-	cols := int(f.area.Width()/cell) + 1
-	rows := int(f.area.Height()/cell) + 1
-	grid := make(map[int][]NodeID, n)
-	cellOf := func(p geom.Point) (int, int) {
-		cx := int((p.X - f.area.MinX) / cell)
-		cy := int((p.Y - f.area.MinY) / cell)
-		if cx >= cols {
-			cx = cols - 1
-		}
-		if cy >= rows {
-			cy = rows - 1
-		}
-		return cx, cy
-	}
 	for i, p := range f.positions {
-		cx, cy := cellOf(p)
-		key := cy*cols + cx
-		grid[key] = append(grid[key], NodeID(i))
+		c := f.cellAt(p)
+		f.cellIdx[i] = c
+		f.cells[c] = append(f.cells[c], NodeID(i))
 	}
+	for i := range f.positions {
+		f.neighbors[i] = f.scanNeighbors(NodeID(i), f.neighbors[i])
+	}
+}
+
+// cellAt maps a position to its grid cell index, clamping the boundary row
+// and column so points on the area's max edge stay inside the grid.
+func (f *Field) cellAt(p geom.Point) int {
+	cx := int((p.X - f.area.MinX) / f.rng)
+	cy := int((p.Y - f.area.MinY) / f.rng)
+	if cx >= f.cols {
+		cx = f.cols - 1
+	}
+	if cy >= f.rows {
+		cy = f.rows - 1
+	}
+	return cy*f.cols + cx
+}
+
+// scanNeighbors recomputes node id's neighbor list into dst (reusing its
+// capacity) by scanning the 3×3 cell neighborhood. Buckets hold node IDs in
+// ascending order and are scanned row-major, so the list order is a pure
+// function of positions — identical for a rebuilt and an incrementally
+// maintained field.
+func (f *Field) scanNeighbors(id NodeID, dst []NodeID) []NodeID {
+	dst = dst[:0]
+	p := f.positions[id]
+	c := f.cellIdx[id]
+	cx, cy := c%f.cols, c/f.cols
 	r2 := f.rng * f.rng
-	for i, p := range f.positions {
-		cx, cy := cellOf(p)
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				nx, ny := cx+dx, cy+dy
-				if nx < 0 || ny < 0 || nx >= cols || ny >= rows {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := cx+dx, cy+dy
+			if nx < 0 || ny < 0 || nx >= f.cols || ny >= f.rows {
+				continue
+			}
+			for _, j := range f.cells[ny*f.cols+nx] {
+				if j == id {
 					continue
 				}
-				for _, j := range grid[ny*cols+nx] {
-					if int(j) == i {
-						continue
-					}
-					if p.Dist2(f.positions[j]) <= r2 {
-						f.neighbors[i] = append(f.neighbors[i], j)
-					}
+				if p.Dist2(f.positions[j]) <= r2 {
+					dst = append(dst, j)
 				}
 			}
 		}
 	}
+	return dst
+}
+
+// MoveNode relocates node id to p — clamped to the deployment area — and
+// incrementally rebuilds every adjacency list the move touches. It returns
+// the number of directed links gained plus lost (0 when the move changed no
+// adjacency). The moved node's own list is recomputed in canonical grid-scan
+// order; lists of nodes that gained id append it, so their order reflects
+// link history — still fully deterministic for a fixed move sequence.
+func (f *Field) MoveNode(id NodeID, p geom.Point) int {
+	p = f.area.Clamp(p)
+	f.positions[id] = p
+	if c := f.cellAt(p); c != f.cellIdx[id] {
+		f.cells[f.cellIdx[id]] = removeID(f.cells[f.cellIdx[id]], id)
+		f.cells[c] = insertID(f.cells[c], id)
+		f.cellIdx[id] = c
+	}
+
+	f.oldNbr = append(f.oldNbr[:0], f.neighbors[id]...)
+	f.neighbors[id] = f.scanNeighbors(id, f.neighbors[id])
+
+	if f.nbrMark == nil {
+		f.nbrMark = make([]bool, len(f.positions))
+	}
+	for _, nb := range f.oldNbr {
+		f.nbrMark[nb] = true
+	}
+	changed := 0
+	for _, nb := range f.neighbors[id] {
+		if f.nbrMark[nb] {
+			f.nbrMark[nb] = false // kept link
+			continue
+		}
+		// Gained link: adjacency is symmetric in a unit disk.
+		f.neighbors[nb] = append(f.neighbors[nb], id)
+		changed += 2
+	}
+	for _, nb := range f.oldNbr {
+		if !f.nbrMark[nb] {
+			continue
+		}
+		f.nbrMark[nb] = false
+		f.neighbors[nb] = removeID(f.neighbors[nb], id)
+		changed += 2
+	}
+	return changed
+}
+
+// insertID adds id to a sorted bucket, keeping ascending order so bucket
+// scans stay canonical after any move sequence.
+func insertID(s []NodeID, id NodeID) []NodeID {
+	s = append(s, id)
+	i := len(s) - 1
+	for i > 0 && s[i-1] > id {
+		s[i] = s[i-1]
+		i--
+	}
+	s[i] = id
+	return s
+}
+
+// removeID deletes id from s preserving the order of the rest.
+func removeID(s []NodeID, id NodeID) []NodeID {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
 }
 
 // Len returns the number of nodes in the field.
@@ -152,7 +256,8 @@ func (f *Field) Range() float64 { return f.rng }
 func (f *Field) Position(id NodeID) geom.Point { return f.positions[id] }
 
 // Neighbors returns the nodes within radio range of id. The returned slice
-// is owned by the field; callers must not modify it.
+// is owned by the field; callers must not modify it, and it is valid only
+// until the next MoveNode call.
 func (f *Field) Neighbors(id NodeID) []NodeID { return f.neighbors[id] }
 
 // InRange reports whether a and b can hear each other.
