@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 type figureFunc func(harness.Options) (*harness.Table, error)
@@ -75,9 +76,14 @@ func run(args []string, out io.Writer) error {
 		quick      = fs.Bool("quick", false, "reduced preset: 3 fields, 60 s, 3 densities (scale: 500 nodes only)")
 		outDir     = fs.String("out", "", "directory for CSV output (created if missing)")
 		plots      = fs.Bool("plot", false, "also draw each panel as an ASCII chart")
-		progress   = fs.Bool("progress", false, "log each completed run to stderr")
+		progress   = fs.Bool("progress", false, "log each completed run to stderr with sweep progress and ETA")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write an allocation heap profile to this file on exit")
+
+		ledger         = fs.String("ledger", "", "sweep progress ledger file: completed runs are recorded there and skipped on a re-run, so an interrupted sweep resumes")
+		liveAddr       = fs.String("live", "", `serve the live debug endpoint (status, /metrics, /debug/pprof) on this address, e.g. "localhost:6060"`)
+		flightDir      = fs.String("flight-dir", "", "arm a flight recorder on every run, dumping per-cell files into this directory on an invariant violation or panic")
+		forceViolation = fs.Duration("force-violation", 0, "inject a synthetic invariant violation at this virtual time into every chaos-checked run (exercises the flight-dump path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,6 +140,28 @@ func run(args []string, out io.Writer) error {
 	if *progress {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
+	opts.Ledger = *ledger
+	opts.SelfTestViolation = *forceViolation
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			return err
+		}
+		opts.FlightDir = *flightDir
+	}
+
+	var live *obs.Live
+	if *liveAddr != "" {
+		var err error
+		live, err = obs.NewLive(*liveAddr)
+		if err != nil {
+			return err
+		}
+		defer live.Close()
+		fmt.Fprintf(out, "live debug endpoint on http://%s/\n", live.Addr())
+		opts.OnRun = func(lo harness.LedgerOutput) {
+			live.AddRun(lo.Kernel.Events, lo.Kernel.WallTime, lo.Telemetry)
+		}
+	}
 
 	var csvDir string
 	if *outDir != "" {
@@ -151,6 +179,7 @@ func run(args []string, out io.Writer) error {
 		}
 		ran++
 		t0 := time.Now()
+		live.SetPhase("fig" + f.name)
 		tbl, err := f.fn(opts)
 		if err != nil {
 			return fmt.Errorf("fig %s: %w", f.name, err)
@@ -179,6 +208,7 @@ func run(args []string, out io.Writer) error {
 	if *fig == "all" || *fig == "git-spt" {
 		ran++
 		t0 := time.Now()
+		live.SetPhase("git-spt")
 		tbl, err := harness.GitSpt(opts)
 		if err != nil {
 			return fmt.Errorf("git-spt: %w", err)
@@ -202,6 +232,7 @@ func run(args []string, out io.Writer) error {
 	if *fig == "all" || *fig == "lifetime" {
 		ran++
 		t0 := time.Now()
+		live.SetPhase("lifetime")
 		tbl, err := harness.LifetimeStudy(opts)
 		if err != nil {
 			return fmt.Errorf("lifetime: %w", err)
@@ -225,6 +256,7 @@ func run(args []string, out io.Writer) error {
 	if *fig == "all" || *fig == "chaos" {
 		ran++
 		t0 := time.Now()
+		live.SetPhase("chaos")
 		tbl, err := harness.Chaos(opts)
 		if err != nil {
 			return fmt.Errorf("chaos: %w", err)
@@ -258,6 +290,7 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			scaleOpts.Nodes = harness.ScaleNodesQuick
 		}
+		live.SetPhase("scale")
 		tbl, err := harness.Scale(scaleOpts)
 		if err != nil {
 			return fmt.Errorf("scale: %w", err)
@@ -283,6 +316,7 @@ func run(args []string, out io.Writer) error {
 	if *fig == "repair" {
 		ran++
 		t0 := time.Now()
+		live.SetPhase("repair")
 		tbl, err := harness.Repair(opts)
 		if err != nil {
 			return fmt.Errorf("repair: %w", err)
@@ -313,6 +347,7 @@ func run(args []string, out io.Writer) error {
 	if *fig == "mobility" {
 		ran++
 		t0 := time.Now()
+		live.SetPhase("mobility")
 		tbl, err := harness.Mobility(opts)
 		if err != nil {
 			return fmt.Errorf("mobility: %w", err)
@@ -336,6 +371,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	live.SetPhase("done")
 	fmt.Fprintf(out, "total: %d table(s) in %v\n", ran, time.Since(start).Round(time.Second))
 	return nil
 }

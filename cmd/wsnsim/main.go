@@ -88,6 +88,11 @@ func run(args []string, out *os.File) error {
 		traceOut  = fs.String("trace-out", "", "write the full protocol trace as NDJSON to this file (see cmd/tracestat)")
 		snapEvery = fs.Duration("snapshot-every", 0, "dump per-node protocol state into the NDJSON trace at this virtual-time interval (requires -trace-out)")
 		pprofOut  = fs.String("pprof", "", "write a CPU profile of the run to this file")
+
+		flightPath     = fs.String("flight", "", "arm the flight recorder; dump recent trace records to this file on an invariant violation or panic")
+		flightCap      = fs.Int("flight-cap", 0, "flight-recorder ring capacity in records (0 = default)")
+		liveAddr       = fs.String("live", "", `serve the live debug endpoint (status, /metrics, /debug/pprof) on this address, e.g. "localhost:6060"`)
+		forceViolation = fs.Duration("force-violation", 0, "inject a synthetic invariant violation at this virtual time (arms -invariants; exercises the flight-dump path)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,14 +121,18 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	if *forceViolation > 0 {
+		*invariants = true // a violation drill needs the checker armed
+	}
 	cc := chaos.Config{
 		Loss: chaos.LossConfig{
 			Drop:              *loss,
 			AsymmetryFraction: *asymFrac,
 			AsymmetryDrop:     *asymDrop,
 		},
-		Amnesia:         chaos.AmnesiaConfig{MeanInterval: *amnesia, Downtime: *amnesiaDown},
-		CheckInvariants: *invariants,
+		Amnesia:           chaos.AmnesiaConfig{MeanInterval: *amnesia, Downtime: *amnesiaDown},
+		CheckInvariants:   *invariants,
+		SelfTestViolation: *forceViolation,
 	}
 	if *burst {
 		bc := chaos.DefaultBurstConfig()
@@ -231,6 +240,19 @@ func run(args []string, out *os.File) error {
 		cfg.Telemetry = &obs.Config{SnapshotEvery: *snapEvery}
 	}
 
+	cfg.FlightPath = *flightPath
+	cfg.FlightCapacity = *flightCap
+
+	var live *obs.Live
+	if *liveAddr != "" {
+		live, err = obs.NewLive(*liveAddr)
+		if err != nil {
+			return err
+		}
+		defer live.Close()
+		fmt.Fprintf(out, "live debug endpoint on http://%s/\n", live.Addr())
+	}
+
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
 		if err != nil {
@@ -243,10 +265,13 @@ func run(args []string, out *os.File) error {
 		defer pprof.StopCPUProfile()
 	}
 
+	live.SetPhase("simulating")
 	res, err := core.Run(cfg)
 	if err != nil {
 		return err
 	}
+	live.SetPhase("reporting")
+	live.AddRun(res.Kernel.Events, res.Kernel.WallTime, res.Telemetry)
 
 	m := res.Metrics
 	fmt.Fprintf(out, "scheme                      %s\n", m.Scheme)
@@ -257,6 +282,10 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "distinct events delivered   %d\n", m.DeliveredEvents)
 	fmt.Fprintf(out, "delivery ratio              %.3f\n", m.DeliveryRatio)
 	fmt.Fprintf(out, "average delay               %.3f s\n", m.AvgDelay)
+	fmt.Fprintf(out, "  delivery latency          p50 %.3f s, p95 %.3f s, p99 %.3f s\n",
+		m.DelayP50, m.DelayP95, m.DelayP99)
+	fmt.Fprintf(out, "  tree depth                %.1f hops mean, %d max (fan-in up to %d)\n",
+		m.MeanDepth, m.MaxDepth, m.MaxFanIn)
 	fmt.Fprintf(out, "avg dissipated energy       %.6f J/node/event\n", m.AvgDissipatedEnergy)
 	fmt.Fprintf(out, "  communication component   %.6f J/node/event\n", m.AvgCommEnergy)
 	fmt.Fprintf(out, "  network totals            %.2f J total, %.2f J tx+rx\n", m.TotalEnergy, m.CommEnergy)
@@ -368,6 +397,18 @@ func run(args []string, out *os.File) error {
 			return fmt.Errorf("trace-out: %w", err)
 		}
 		fmt.Fprintf(out, "\ntrace written to %s (inspect with tracestat)\n", *traceOut)
+	}
+	if fr := res.Flight; fr != nil {
+		switch {
+		case fr.Err != nil:
+			fmt.Fprintf(out, "\nflight recorder: dump to %s failed: %v\n", fr.Path, fr.Err)
+		case fr.Dumped:
+			fmt.Fprintf(out, "\nflight recorder: dumped %d of %d records to %s (inspect with tracestat)\n",
+				fr.Records, fr.Total, fr.Path)
+		default:
+			fmt.Fprintf(out, "\nflight recorder: armed, no violation — nothing dumped (%d records buffered)\n",
+				fr.Records)
+		}
 	}
 	return nil
 }

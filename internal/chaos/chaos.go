@@ -56,6 +56,12 @@ type Config struct {
 	// RecoveryWindow is the post-fault observation window for the
 	// delivery-dip metric (0 = metrics.DefaultRecoveryWindow).
 	RecoveryWindow time.Duration
+
+	// SelfTestViolation, when positive, schedules one synthetic invariant
+	// violation at that virtual time. It exists to exercise the
+	// dump-on-violation observability path (flight recorder, CI smoke)
+	// end to end; it requires CheckInvariants.
+	SelfTestViolation time.Duration
 }
 
 // DefaultConfig expresses failure.DefaultConfig through the chaos layer with
@@ -85,6 +91,12 @@ func (c Config) Validate() error {
 	}
 	if c.RecoveryWindow < 0 {
 		return fmt.Errorf("chaos: negative recovery window %v", c.RecoveryWindow)
+	}
+	if c.SelfTestViolation < 0 {
+		return fmt.Errorf("chaos: negative self-test violation time %v", c.SelfTestViolation)
+	}
+	if c.SelfTestViolation > 0 && !c.CheckInvariants {
+		return fmt.Errorf("chaos: self-test violation requires CheckInvariants")
 	}
 	return nil
 }
@@ -396,6 +408,13 @@ func (e *Engine) Start() {
 	}
 	if e.checker != nil {
 		e.checker.startAudits()
+		if d := e.cfg.SelfTestViolation; d > 0 {
+			// Scheduling consumes no randomness, so the synthetic breach
+			// perturbs nothing but the observability path it exists to test.
+			e.kernel.Schedule(d, func() {
+				e.checker.SelfTest(fmt.Sprintf("forced at %v by SelfTestViolation", d))
+			})
+		}
 	}
 }
 

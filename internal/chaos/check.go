@@ -58,6 +58,11 @@ type Checker struct {
 	violations []Violation
 	total      int
 
+	// onViolation, when set, is invoked synchronously for every breach (even
+	// past the maxViolations cap). The flight recorder hooks it to dump its
+	// ring the moment the first violation fires.
+	onViolation func(Violation)
+
 	seen    map[topology.NodeID]map[msg.ItemKey]bool
 	streams map[streamKey]*costState
 	recvMin map[recvKey]*costState
@@ -170,12 +175,24 @@ func (c *Checker) ttl() time.Duration {
 
 func (c *Checker) violate(invariant, detail string) {
 	c.total++
+	v := Violation{At: c.kernel.Now(), Invariant: invariant, Detail: detail}
 	if len(c.violations) < maxViolations {
-		c.violations = append(c.violations, Violation{
-			At: c.kernel.Now(), Invariant: invariant, Detail: detail,
-		})
+		c.violations = append(c.violations, v)
+	}
+	if c.onViolation != nil {
+		c.onViolation(v)
 	}
 }
+
+// SetOnViolation installs a callback invoked synchronously on every breach,
+// including ones past the recording cap. Install before the run starts.
+func (c *Checker) SetOnViolation(fn func(Violation)) { c.onViolation = fn }
+
+// SelfTest records one synthetic "selftest" violation. It exists for the
+// flight-recorder path: forcing a violation on demand exercises the
+// dump-on-violation machinery end to end without having to craft a real
+// protocol breach.
+func (c *Checker) SelfTest(detail string) { c.violate("selftest", detail) }
 
 // Violations returns the recorded breaches (capped at maxViolations).
 func (c *Checker) Violations() []Violation {

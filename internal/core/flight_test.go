@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// flightConfig is a small chaos-checked run with the flight recorder armed
+// and a synthetic violation scheduled mid-run.
+func flightConfig(path string) Config {
+	cfg := DefaultConfig()
+	cfg.Scheme = SchemeGreedy
+	cfg.Nodes = 60
+	cfg.Seed = 11
+	cfg.Duration = 40 * time.Second
+	cfg.Chaos = &chaos.Config{
+		CheckInvariants:   true,
+		SelfTestViolation: 20 * time.Second,
+	}
+	cfg.FlightPath = path
+	return cfg
+}
+
+// TestFlightDumpOnViolation checks the tentpole path end to end: a violation
+// fires mid-run, the recorder dumps, and the dump is a readable NDJSON trace.
+func TestFlightDumpOnViolation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.flight.ndjson")
+	out, err := Run(flightConfig(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := out.Flight
+	if fr == nil {
+		t.Fatal("no flight report despite FlightPath being set")
+	}
+	if !fr.Dumped {
+		t.Fatal("synthetic violation did not trigger a flight dump")
+	}
+	if fr.Err != nil {
+		t.Fatalf("flight dump error: %v", fr.Err)
+	}
+	if fr.Records == 0 || fr.Total == 0 {
+		t.Fatalf("empty flight ring at dump time: %+v", fr)
+	}
+	if out.Chaos == nil || out.Chaos.ViolationCount == 0 {
+		t.Fatal("self-test violation not recorded in the chaos report")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("flight dump file is empty")
+	}
+}
+
+// TestFlightDumpDeterministic checks that two identically seeded runs dump
+// byte-identical flight files: records carry only virtual time, so the dump
+// is as reproducible as the run itself.
+func TestFlightDumpDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	var dumps [][]byte
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, "run"+string(rune('a'+i))+".flight.ndjson")
+		if _, err := Run(flightConfig(path)); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, data)
+	}
+	if !bytes.Equal(dumps[0], dumps[1]) {
+		t.Fatalf("flight dumps differ between identically seeded runs (%d vs %d bytes)",
+			len(dumps[0]), len(dumps[1]))
+	}
+}
+
+// TestFlightInertWithoutViolation checks the always-on cost model: an armed
+// recorder on a clean run buffers records but never writes a file.
+func TestFlightInertWithoutViolation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clean.flight.ndjson")
+	cfg := flightConfig(path)
+	cfg.Chaos = &chaos.Config{CheckInvariants: true} // no self-test violation
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := out.Flight
+	if fr == nil {
+		t.Fatal("no flight report despite FlightPath being set")
+	}
+	if fr.Dumped {
+		t.Fatal("clean run dumped a flight file")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("flight file exists after a clean run (stat err: %v)", err)
+	}
+	if fr.Records == 0 {
+		t.Fatal("flight recorder buffered nothing during the run")
+	}
+}

@@ -158,6 +158,18 @@ type Config struct {
 	// protocol-state snapshots when Telemetry.SnapshotEvery is set.
 	Tracer diffusion.Tracer
 
+	// FlightPath, when non-empty, arms the flight recorder: a fixed-size
+	// ring of recent trace events and protocol-state snapshots kept alongside
+	// any configured Tracer, dumped as NDJSON to FlightPath when the chaos
+	// invariant checker records its first violation or the event loop panics.
+	// Memory stays bounded by FlightCapacity and nothing is written on a
+	// clean run. Only diffusion schemes emit trace events, so the recorder is
+	// inert under the idealized references (the panic backstop still fires).
+	FlightPath string
+	// FlightCapacity is the flight-recorder ring size in records; 0 selects
+	// trace.DefaultFlightCapacity.
+	FlightCapacity int
+
 	// Telemetry, when non-nil, enables the observability subsystem: the
 	// kernel, MAC, and protocol layers feed a metrics registry whose
 	// snapshot lands in Output.Telemetry. The zero obs.Config value is valid
@@ -215,6 +227,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MaxPlacementTries %d < 1", c.MaxPlacementTries)
 	case c.BatteryJ < 0:
 		return fmt.Errorf("core: negative battery %v", c.BatteryJ)
+	case c.FlightCapacity < 0:
+		return fmt.Errorf("core: negative flight capacity %d", c.FlightCapacity)
+	case c.FlightCapacity > 0 && c.FlightPath == "":
+		return fmt.Errorf("core: FlightCapacity set without FlightPath")
 	}
 	if err := c.Workload.Validate(); err != nil {
 		return err
@@ -281,6 +297,9 @@ type Output struct {
 	// Config.Diffusion.Repair.Enabled is set on a diffusion scheme; nil
 	// otherwise.
 	Repair *diffusion.RepairStats
+	// Flight describes the flight recorder's disposition when
+	// Config.FlightPath is set; nil otherwise.
+	Flight *FlightReport
 	// Kernel reports event-loop throughput; always filled.
 	Kernel KernelStats
 	// Telemetry is the metrics-registry snapshot when Config.Telemetry is
@@ -305,6 +324,20 @@ type MobilityReport struct {
 	// Joins and Departures count churn events.
 	Joins      int
 	Departures int
+}
+
+// FlightReport summarizes the flight recorder at the end of a run.
+type FlightReport struct {
+	// Path is the configured dump destination.
+	Path string
+	// Dumped reports whether a dump was written (an invariant violation
+	// fired); Err is the dump error, if any.
+	Dumped bool
+	Err    error
+	// Records is the ring occupancy at the end of the run; Total counts
+	// every record ever pushed, including overwritten ones.
+	Records int
+	Total   uint64
 }
 
 // Lifetime summarizes battery-depletion outcomes of a run.
@@ -363,6 +396,21 @@ func Run(cfg Config) (Output, error) {
 
 	collector := metrics.NewCollector(0, cfg.Duration-cfg.DrainTail, kernel.Now)
 
+	// The flight recorder rides next to the user's tracer: always recording
+	// into its ring, written out only on a violation or a panic.
+	var flight *trace.FlightRecorder
+	if cfg.FlightPath != "" {
+		flight = trace.NewFlightRecorder(cfg.FlightCapacity)
+	}
+	userTracer := cfg.Tracer
+	if flight != nil {
+		if userTracer == nil {
+			userTracer = flight
+		} else {
+			userTracer = teeTracer{userTracer, flight}
+		}
+	}
+
 	// The chaos engine interposes on the observer and tracer; with no Chaos
 	// config the run uses the bare collector.
 	var engine *chaos.Engine
@@ -373,6 +421,12 @@ func Run(cfg Config) (Output, error) {
 			return Output{}, err
 		}
 		observer = engine.WrapObserver(collector)
+		if flight != nil {
+			if ck := engine.Checker(); ck != nil {
+				fp := cfg.FlightPath
+				ck.SetOnViolation(func(chaos.Violation) { _ = flight.DumpFile(fp) })
+			}
+		}
 	}
 
 	// The runtime under test: a diffusion instantiation or one of the
@@ -408,7 +462,7 @@ func Run(cfg Config) (Output, error) {
 		if err != nil {
 			return Output{}, err
 		}
-		tracer := cfg.Tracer
+		tracer := userTracer
 		if engine != nil {
 			if ck := engine.Checker(); ck != nil {
 				if tracer == nil {
@@ -424,12 +478,23 @@ func Run(cfg Config) (Output, error) {
 		if reg != nil {
 			rt.SetInstruments(diffusion.NewInstruments(reg, cfg.Scheme.String()))
 		}
-		// Drops become OpDrop trace events for the user's tracer only; the
-		// chaos invariant checker keys on sends and receives and must not
-		// see them.
-		installDropHook(network, kernel, cfg.Tracer, reg, cfg.Scheme.String())
-		if ss, ok := cfg.Tracer.(trace.SnapshotSink); ok && cfg.Telemetry != nil {
-			scheduleSnapshots(kernel, rt, ss, cfg.Telemetry.SnapshotEvery)
+		// Drops become OpDrop trace events for the user's tracer (and flight
+		// recorder) only; the chaos invariant checker keys on sends and
+		// receives and must not see them.
+		installDropHook(network, kernel, userTracer, reg, cfg.Scheme.String())
+		var snapSink trace.SnapshotSink
+		if ss, ok := cfg.Tracer.(trace.SnapshotSink); ok {
+			snapSink = ss
+		}
+		if flight != nil {
+			if snapSink != nil {
+				snapSink = teeSnapshot{snapSink, flight}
+			} else {
+				snapSink = flight
+			}
+		}
+		if snapSink != nil && cfg.Telemetry != nil {
+			scheduleSnapshots(kernel, rt, snapSink, cfg.Telemetry.SnapshotEvery)
 		}
 		startRun = rt.Start
 	}
@@ -550,7 +615,11 @@ func Run(cfg Config) (Output, error) {
 	if engine != nil {
 		engine.Start()
 	}
-	kernel.Run(cfg.Duration)
+	if flight != nil {
+		runGuarded(kernel, cfg.Duration, flight, cfg.FlightPath)
+	} else {
+		kernel.Run(cfg.Duration)
+	}
 	sched.Finish()
 
 	var report *chaos.Report
@@ -639,6 +708,17 @@ func Run(cfg Config) (Output, error) {
 		telemetry = reg.Snapshot()
 	}
 
+	var flightRep *FlightReport
+	if flight != nil {
+		flightRep = &FlightReport{
+			Path:    cfg.FlightPath,
+			Dumped:  flight.Dumped(),
+			Err:     flight.DumpError(),
+			Records: flight.Len(),
+			Total:   flight.Total(),
+		}
+	}
+
 	return Output{
 		Metrics:    result,
 		MAC:        network.Stats(),
@@ -651,19 +731,44 @@ func Run(cfg Config) (Output, error) {
 		Chaos:      report,
 		Mobility:   mobility,
 		Repair:     repair,
+		Flight:     flightRep,
 		Kernel:     kstats,
 		Telemetry:  telemetry,
 	}, nil
 }
 
 // teeTracer fans one protocol event stream out to two tracers (a
-// user-supplied recorder and the chaos invariant checker).
+// user-supplied recorder, the flight recorder, the chaos invariant checker).
 type teeTracer struct{ a, b diffusion.Tracer }
 
 // Record implements diffusion.Tracer.
 func (t teeTracer) Record(e trace.Event) {
 	t.a.Record(e)
 	t.b.Record(e)
+}
+
+// teeSnapshot fans protocol-state snapshots out to two sinks (a
+// user-supplied snapshot sink and the flight recorder).
+type teeSnapshot struct{ a, b trace.SnapshotSink }
+
+// RecordSnapshot implements trace.SnapshotSink.
+func (t teeSnapshot) RecordSnapshot(rec trace.SnapshotRecord) {
+	t.a.RecordSnapshot(rec)
+	t.b.RecordSnapshot(rec)
+}
+
+// runGuarded runs the event loop with a panic backstop: if anything inside
+// the kernel panics, the flight recorder dumps its ring before the panic
+// propagates, so the records leading up to the crash survive for
+// post-mortem.
+func runGuarded(kernel *sim.Kernel, d time.Duration, flight *trace.FlightRecorder, path string) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = flight.DumpFile(path)
+			panic(r)
+		}
+	}()
+	kernel.Run(d)
 }
 
 // idealizedParams maps the diffusion workload parameters onto the

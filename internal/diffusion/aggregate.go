@@ -64,7 +64,7 @@ func (n *node) onData(from topology.NodeID, m msg.Message) {
 	})
 
 	if n.isSink && m.Interest == n.sinkInterest {
-		n.deliver(st, m.Items, newItems)
+		n.deliver(st, m.Items, newItems, -1)
 		return
 	}
 	if fresh == 0 {
@@ -171,6 +171,16 @@ func (n *node) flush(st *interestState) {
 	for i := range contribs {
 		total += len(contribs[i].newItems)
 	}
+	// Lineage: every appended copy is about to ride one more transmission,
+	// and a merge of two or more fresh upstream contributions widens its
+	// recorded fan-in. Only the fresh copies built here are stamped — shared
+	// incoming slices stay immutable per the msg.Clone contract.
+	fanIn := 0
+	for i := range contribs {
+		if len(contribs[i].newItems) > 0 {
+			fanIn++
+		}
+	}
 	// The merged payload escapes into the outgoing message, so it is the one
 	// slice here that must be freshly allocated.
 	items := make([]msg.Item, 0, total)
@@ -178,6 +188,12 @@ func (n *node) flush(st *interestState) {
 		for _, it := range c.newItems {
 			if !seen[it.Key()] {
 				seen[it.Key()] = true
+				if it.Hops < math.MaxUint16 {
+					it.Hops++
+				}
+				if fanIn >= 2 && uint16(fanIn) > it.FanIn {
+					it.FanIn = uint16(fanIn)
+				}
 				items = append(items, it)
 			}
 		}

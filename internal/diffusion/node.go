@@ -1,6 +1,7 @@
 package diffusion
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/mac"
@@ -468,7 +469,7 @@ func (n *node) onExploratory(from topology.NodeID, m msg.Message) {
 	}
 
 	if n.isSink && m.Interest == n.sinkInterest {
-		n.deliver(st, m.Items, nil)
+		n.deliver(st, m.Items, nil, cost)
 		n.scheduleSinkReinforce(st, e)
 		return
 	}
@@ -684,8 +685,11 @@ func (n *node) unicast(to topology.NodeID, m msg.Message) {
 }
 
 // deliver records sink arrivals of any new items and refreshes the
-// duplicate cache.
-func (n *node) deliver(st *interestState, items []msg.Item, newOnly []msg.Item) {
+// duplicate cache. hops, when non-negative, overrides the items' lineage hop
+// count before observation — the exploratory path shares its flooded Items
+// slice (immutable per the msg.Clone contract), so its per-path hop count
+// arrives out of band as the accumulated cost E instead of stamped items.
+func (n *node) deliver(st *interestState, items []msg.Item, newOnly []msg.Item, hops int) {
 	if newOnly == nil {
 		newOnly = items
 	}
@@ -694,8 +698,17 @@ func (n *node) deliver(st *interestState, items []msg.Item, newOnly []msg.Item) 
 			continue
 		}
 		st.dataCache[it.Key()] = n.now()
-		if n.rt.observer != nil {
-			n.rt.observer.Delivered(n.id, it, n.now()-time.Duration(it.GenTime))
+		if hops >= 0 {
+			h := hops
+			if h > math.MaxUint16 {
+				h = math.MaxUint16
+			}
+			it.Hops = uint16(h)
 		}
+		delay := n.now() - time.Duration(it.GenTime)
+		if n.rt.observer != nil {
+			n.rt.observer.Delivered(n.id, it, delay)
+		}
+		n.rt.traceDeliver(n.id, it, delay)
 	}
 }

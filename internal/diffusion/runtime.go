@@ -148,6 +148,24 @@ func (rt *Runtime) traceMsg(op trace.Op, node, peer topology.NodeID, m msg.Messa
 	})
 }
 
+// traceDeliver records an OpDeliver event for a distinct event's first sink
+// arrival, carrying the item's lineage (hops, merge fan-in, latency).
+func (rt *Runtime) traceDeliver(sink topology.NodeID, it msg.Item, delay time.Duration) {
+	if rt.tracer == nil {
+		return
+	}
+	rt.tracer.Record(trace.Event{
+		At:     rt.kernel.Now(),
+		Op:     trace.OpDeliver,
+		Node:   sink,
+		Origin: it.Source,
+		Items:  1,
+		Hops:   int(it.Hops),
+		FanIn:  int(it.FanIn),
+		Delay:  delay,
+	})
+}
+
 // Sent returns how many messages of each kind the protocol handed to the
 // MAC (one count per unicast copy or broadcast).
 func (rt *Runtime) Sent() map[msg.Kind]int {

@@ -152,9 +152,16 @@ func Chaos(o Options) (*ChaosTable, error) {
 		}
 	}
 
+	led, err := openLedger(o)
+	if err != nil {
+		return nil, err
+	}
+	defer led.Close()
+	tr := newProgressTracker(len(jobs))
+
 	type result struct {
 		job job
-		out core.Output
+		out LedgerOutput
 		err error
 	}
 	results := make([]result, len(jobs))
@@ -166,14 +173,16 @@ func Chaos(o Options) (*ChaosTable, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out, err := core.Run(jobs[i].cfg)
-			results[i] = result{job: jobs[i], out: out, err: err}
-			if o.Progress != nil && err == nil {
-				r := &t.Rows[jobs[i].row]
-				o.Progress(fmt.Sprintf("figchaos %s/%s field=%d done (%d events, %.0f ev/s)",
-					r.Scenario, r.Scheme, jobs[i].field,
-					out.Kernel.Events, out.Kernel.EventsPerSec()))
+			j := jobs[i]
+			r := &t.Rows[j.row]
+			cid := cellID{
+				figure: "figchaos",
+				series: fmt.Sprintf("%s/%s", r.Scenario, r.Scheme),
+				x:      chaosNodes,
+				field:  j.field,
 			}
+			out, err := runCell(o, led, tr, cid, j.cfg)
+			results[i] = result{job: j, out: out, err: err}
 		}(i)
 	}
 	wg.Wait()

@@ -39,6 +39,24 @@ type Options struct {
 	// registry (the obs.Registry is single-threaded), so concurrent
 	// workers never share one.
 	Telemetry bool
+	// Ledger, when non-empty, is the path of the sweep progress ledger:
+	// every completed run is appended there, and cells already on file
+	// replay from it instead of simulating, so an interrupted sweep
+	// resumes where it stopped.
+	Ledger string
+	// OnRun, when non-nil, receives each freshly simulated run's summary
+	// (replayed cells are skipped — they did their reporting the first
+	// time). Called from worker goroutines; must be safe for concurrent
+	// use.
+	OnRun func(LedgerOutput)
+	// FlightDir, when non-empty, arms a flight recorder on every run,
+	// dumping to a per-cell file under this directory on an invariant
+	// violation or panic.
+	FlightDir string
+	// SelfTestViolation, when positive, schedules a synthetic invariant
+	// violation at this virtual time in every chaos-checked run — a drill
+	// that exercises the violation → flight-dump path end to end.
+	SelfTestViolation time.Duration
 }
 
 // DefaultOptions reproduces the paper's methodology (10 fields per point).
@@ -98,6 +116,32 @@ type Cell struct {
 	Delay stats.Sample
 	// Ratio is the distinct-event delivery ratio.
 	Ratio stats.Sample
+	// DelayP50/P95/P99 are per-field latency percentiles over individual
+	// sample deliveries (lineage-derived, not per-event means).
+	DelayP50 stats.Sample
+	DelayP95 stats.Sample
+	DelayP99 stats.Sample
+	// Depth is the per-field mean delivered hop count; MaxDepth is the
+	// deepest delivery seen across the cell's fields.
+	Depth    stats.Sample
+	MaxDepth int
+}
+
+// absorb folds one run's metrics into the cell's samples.
+func (c *Cell) absorb(lo LedgerOutput) {
+	m := lo.Metrics
+	c.Density = append(c.Density, lo.Density)
+	c.Energy = append(c.Energy, m.AvgDissipatedEnergy)
+	c.CommEnergy = append(c.CommEnergy, m.AvgCommEnergy)
+	c.Delay = append(c.Delay, m.AvgDelay)
+	c.Ratio = append(c.Ratio, m.DeliveryRatio)
+	c.DelayP50 = append(c.DelayP50, m.DelayP50)
+	c.DelayP95 = append(c.DelayP95, m.DelayP95)
+	c.DelayP99 = append(c.DelayP99, m.DelayP99)
+	c.Depth = append(c.Depth, m.MeanDepth)
+	if m.MaxDepth > c.MaxDepth {
+		c.MaxDepth = m.MaxDepth
+	}
 }
 
 // Table is one regenerated figure: a set of per-scheme series over a sweep.
@@ -157,6 +201,9 @@ func (m *RunMeta) Manifest(figure string, schemes []string, xs []int) *obs.Manif
 		CreatedAt:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:       runtime.Version(),
 		NumCPU:          runtime.NumCPU(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
 		Schemes:         schemes,
 		Xs:              xs,
 		Fields:          m.Fields,
@@ -191,12 +238,12 @@ func newMetaCollector(o Options) *metaCollector {
 	return c
 }
 
-func (c *metaCollector) add(out core.Output) error {
+func (c *metaCollector) add(lo LedgerOutput) error {
 	c.meta.Runs++
-	c.meta.WallTime += out.Kernel.WallTime
-	c.meta.Events += out.Kernel.Events
+	c.meta.WallTime += lo.Kernel.WallTime
+	c.meta.Events += lo.Kernel.Events
 	if c.agg != nil {
-		if err := c.agg.Absorb(out.Telemetry); err != nil {
+		if err := c.agg.Absorb(lo.Telemetry); err != nil {
 			return fmt.Errorf("harness: merge telemetry: %w", err)
 		}
 	}
@@ -249,9 +296,16 @@ func sweep(o Options, id, title, xlabel string, schemes []core.Scheme, xs []int,
 		}
 	}
 
+	led, err := openLedger(o)
+	if err != nil {
+		return nil, err
+	}
+	defer led.Close()
+	tr := newProgressTracker(len(jobs))
+
 	type result struct {
 		job job
-		out core.Output
+		out LedgerOutput
 		err error
 	}
 	results := make([]result, len(jobs))
@@ -263,13 +317,10 @@ func sweep(o Options, id, title, xlabel string, schemes []core.Scheme, xs []int,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out, err := core.Run(jobs[i].cfg)
-			results[i] = result{job: jobs[i], out: out, err: err}
-			if o.Progress != nil && err == nil {
-				o.Progress(fmt.Sprintf("%s %s x=%d field=%d done (%d events, %.0f ev/s)",
-					id, jobs[i].scheme, jobs[i].cfg.Nodes, jobs[i].field,
-					out.Kernel.Events, out.Kernel.EventsPerSec()))
-			}
+			j := jobs[i]
+			cid := cellID{figure: id, series: j.scheme.String(), x: xs[j.xIdx], field: j.field}
+			out, err := runCell(o, led, tr, cid, j.cfg)
+			results[i] = result{job: j, out: out, err: err}
 		}(i)
 	}
 	wg.Wait()
@@ -283,13 +334,7 @@ func sweep(o Options, id, title, xlabel string, schemes []core.Scheme, xs []int,
 		if err := meta.add(r.out); err != nil {
 			return nil, err
 		}
-		c := &t.Cells[r.job.scheme.String()][r.job.xIdx]
-		m := r.out.Metrics
-		c.Density = append(c.Density, r.out.Density)
-		c.Energy = append(c.Energy, m.AvgDissipatedEnergy)
-		c.CommEnergy = append(c.CommEnergy, m.AvgCommEnergy)
-		c.Delay = append(c.Delay, m.AvgDelay)
-		c.Ratio = append(c.Ratio, m.DeliveryRatio)
+		t.Cells[r.job.scheme.String()][r.job.xIdx].absorb(r.out)
 	}
 	t.Meta = meta.finish()
 	return t, nil

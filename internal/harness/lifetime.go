@@ -57,6 +57,14 @@ func LifetimeStudy(o Options) (*LifetimeTable, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
+	led, err := openLedger(o)
+	if err != nil {
+		return nil, err
+	}
+	defer led.Close()
+	// Per (nodes, field): one greedy probe plus one battery run per scheme.
+	tr := newProgressTracker(len(o.Nodes) * o.Fields * (1 + len(bothSchemes)))
+
 	t := &LifetimeTable{Duration: o.Duration.Seconds()}
 	meta := newMetaCollector(o)
 	for _, nodes := range o.Nodes {
@@ -66,7 +74,8 @@ func LifetimeStudy(o Options) (*LifetimeTable, error) {
 			if o.Telemetry {
 				probeCfg.Telemetry = &obs.Config{}
 			}
-			probe, err := core.Run(probeCfg)
+			probe, err := runCell(o, led, tr,
+				cellID{figure: "lifetime", series: "probe", x: nodes, field: field}, probeCfg)
 			if err != nil {
 				return nil, err
 			}
@@ -83,7 +92,8 @@ func LifetimeStudy(o Options) (*LifetimeTable, error) {
 				if o.Telemetry {
 					cfg.Telemetry = &obs.Config{}
 				}
-				out, err := core.Run(cfg)
+				out, err := runCell(o, led, tr,
+					cellID{figure: "lifetime", series: scheme.String(), x: nodes, field: field}, cfg)
 				if err != nil {
 					return nil, err
 				}

@@ -54,6 +54,14 @@ type MobilityRow struct {
 	Ratio  stats.Sample
 	Delay  stats.Sample
 	Energy stats.Sample
+	// DelayP50/P95/P99 and Depth are the lineage-derived per-delivery
+	// latency percentiles and mean hop depth; MaxDepth is the deepest
+	// delivery over the arm's fields.
+	DelayP50 stats.Sample
+	DelayP95 stats.Sample
+	DelayP99 stats.Sample
+	Depth    stats.Sample
+	MaxDepth int
 	// TTR is the per-run mean seconds to first post-fault delivery; MaxTTR
 	// the slowest repair over all fields.
 	TTR    stats.Sample
@@ -128,9 +136,16 @@ func Mobility(o Options) (*MobilityTable, error) {
 		}
 	}
 
+	led, err := openLedger(o)
+	if err != nil {
+		return nil, err
+	}
+	defer led.Close()
+	tr := newProgressTracker(len(jobs))
+
 	type result struct {
 		job job
-		out core.Output
+		out LedgerOutput
 		err error
 	}
 	results := make([]result, len(jobs))
@@ -142,14 +157,16 @@ func Mobility(o Options) (*MobilityTable, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out, err := core.Run(jobs[i].cfg)
-			results[i] = result{job: jobs[i], out: out, err: err}
-			if o.Progress != nil && err == nil {
-				r := &t.Rows[jobs[i].row]
-				o.Progress(fmt.Sprintf("figmobility %s/repair=%v field=%d done (%d events, %.0f ev/s)",
-					r.Scenario, r.Repair, jobs[i].field,
-					out.Kernel.Events, out.Kernel.EventsPerSec()))
+			j := jobs[i]
+			r := &t.Rows[j.row]
+			cid := cellID{
+				figure: "figmobility",
+				series: fmt.Sprintf("%s/repair=%t", r.Scenario, r.Repair),
+				x:      chaosNodes,
+				field:  j.field,
 			}
+			out, err := runCell(o, led, tr, cid, j.cfg)
+			results[i] = result{job: j, out: out, err: err}
 		}(i)
 	}
 	wg.Wait()
@@ -168,6 +185,13 @@ func Mobility(o Options) (*MobilityTable, error) {
 		row.Ratio = append(row.Ratio, m.DeliveryRatio)
 		row.Delay = append(row.Delay, m.AvgDelay)
 		row.Energy = append(row.Energy, m.AvgDissipatedEnergy)
+		row.DelayP50 = append(row.DelayP50, m.DelayP50)
+		row.DelayP95 = append(row.DelayP95, m.DelayP95)
+		row.DelayP99 = append(row.DelayP99, m.DelayP99)
+		row.Depth = append(row.Depth, m.MeanDepth)
+		if m.MaxDepth > row.MaxDepth {
+			row.MaxDepth = m.MaxDepth
+		}
 		if mob := r.out.Mobility; mob != nil {
 			row.LinkChanges += mob.LinkChanges
 			row.Joins += mob.Joins
@@ -240,7 +264,7 @@ func (t *MobilityTable) Render(w io.Writer) error {
 func (t *MobilityTable) CSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "figure,scenario,repair,ratio_mean,ratio_ci,delay_mean,delay_ci,energy_mean,energy_ci,"+
 		"ttr_mean_s,ttr_ci,ttr_max_s,mean_speed_mps,link_changes,joins,departures,topo_faults,violations,"+
-		"bucket0_commj,bucket1_commj,bucket2_commj,bucket3_commj,fields"); err != nil {
+		"bucket0_commj,bucket1_commj,bucket2_commj,bucket3_commj,delay_p50,delay_p95,delay_p99,depth_mean,depth_max,fields"); err != nil {
 		return err
 	}
 	bucket := func(r MobilityRow, i int) float64 {
@@ -250,7 +274,7 @@ func (t *MobilityTable) CSV(w io.Writer) error {
 		return r.BucketCommJ[i].Mean()
 	}
 	for _, r := range t.Rows {
-		if _, err := fmt.Fprintf(w, "figmobility,%s,%t,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%d,%g,%g,%g,%g,%d\n",
+		if _, err := fmt.Fprintf(w, "figmobility,%s,%t,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%d,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d\n",
 			r.Scenario, r.Repair,
 			r.Ratio.Mean(), r.Ratio.CI95(),
 			r.Delay.Mean(), r.Delay.CI95(),
@@ -259,6 +283,8 @@ func (t *MobilityTable) CSV(w io.Writer) error {
 			r.MeanSpeed.Mean(), r.LinkChanges, r.Joins, r.Departures,
 			r.TopoFaults, r.Violations,
 			bucket(r, 0), bucket(r, 1), bucket(r, 2), bucket(r, 3),
+			r.DelayP50.Mean(), r.DelayP95.Mean(), r.DelayP99.Mean(),
+			r.Depth.Mean(), r.MaxDepth,
 			t.Fields); err != nil {
 			return err
 		}

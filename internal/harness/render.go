@@ -58,18 +58,20 @@ func (t *Table) Render(w io.Writer) error {
 // CSV writes the table in long form: one row per (scheme, x) with mean and
 // 95% CI for each metric.
 func (t *Table) CSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "figure,scheme,%s,density,energy_mean,energy_ci,comm_mean,comm_ci,delay_mean,delay_ci,ratio_mean,ratio_ci,fields\n", t.XLabel); err != nil {
+	if _, err := fmt.Fprintf(w, "figure,scheme,%s,density,energy_mean,energy_ci,comm_mean,comm_ci,delay_mean,delay_ci,ratio_mean,ratio_ci,delay_p50,delay_p95,delay_p99,depth_mean,depth_max,fields\n", t.XLabel); err != nil {
 		return err
 	}
 	for _, s := range t.Schemes {
 		for i, x := range t.Xs {
 			c := t.Cells[s][i]
-			if _, err := fmt.Fprintf(w, "%s,%s,%d,%.2f,%g,%g,%g,%g,%g,%g,%g,%g,%d\n",
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%.2f,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d\n",
 				t.ID, s, x, c.Density.Mean(),
 				c.Energy.Mean(), c.Energy.CI95(),
 				c.CommEnergy.Mean(), c.CommEnergy.CI95(),
 				c.Delay.Mean(), c.Delay.CI95(),
-				c.Ratio.Mean(), c.Ratio.CI95(), len(c.Energy)); err != nil {
+				c.Ratio.Mean(), c.Ratio.CI95(),
+				c.DelayP50.Mean(), c.DelayP95.Mean(), c.DelayP99.Mean(),
+				c.Depth.Mean(), c.MaxDepth, len(c.Energy)); err != nil {
 				return err
 			}
 		}

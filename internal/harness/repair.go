@@ -100,9 +100,16 @@ func Repair(o Options) (*RepairTable, error) {
 		}
 	}
 
+	led, err := openLedger(o)
+	if err != nil {
+		return nil, err
+	}
+	defer led.Close()
+	tr := newProgressTracker(len(jobs))
+
 	type result struct {
 		job job
-		out core.Output
+		out LedgerOutput
 		err error
 	}
 	results := make([]result, len(jobs))
@@ -114,14 +121,16 @@ func Repair(o Options) (*RepairTable, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out, err := core.Run(jobs[i].cfg)
-			results[i] = result{job: jobs[i], out: out, err: err}
-			if o.Progress != nil && err == nil {
-				r := &t.Rows[jobs[i].row]
-				o.Progress(fmt.Sprintf("figrepair %s/repair=%v field=%d done (%d events, %.0f ev/s)",
-					r.Scenario, r.Repair, jobs[i].field,
-					out.Kernel.Events, out.Kernel.EventsPerSec()))
+			j := jobs[i]
+			r := &t.Rows[j.row]
+			cid := cellID{
+				figure: "figrepair",
+				series: fmt.Sprintf("%s/repair=%t", r.Scenario, r.Repair),
+				x:      chaosNodes,
+				field:  j.field,
 			}
+			out, err := runCell(o, led, tr, cid, j.cfg)
+			results[i] = result{job: j, out: out, err: err}
 		}(i)
 	}
 	wg.Wait()

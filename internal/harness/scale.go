@@ -6,7 +6,6 @@ import (
 	"math"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -45,14 +44,22 @@ type ScaleRow struct {
 	Energy stats.Sample
 	Ratio  stats.Sample
 	Delay  stats.Sample
+	// DelayP50/P95/P99 and Depth are the lineage-derived per-delivery
+	// latency percentiles and mean hop depth; MaxDepth is the deepest
+	// delivery over the rung's fields.
+	DelayP50 stats.Sample
+	DelayP95 stats.Sample
+	DelayP99 stats.Sample
+	Depth    stats.Sample
+	MaxDepth int
 	// Events and WallTime sum the rung's kernel costs; EventsPerSec is the
 	// throughput headline the rung exists to measure.
 	Events   uint64
 	WallTime float64 // seconds
-	// PeakHeapBytes is the process's OS-memory high-water mark sampled when
-	// the rung finished. Rungs run sequentially in ascending node order and
+	// PeakHeapBytes is the largest per-run OS-memory high-water mark over
+	// the rung's fields. Rungs run sequentially in ascending node order and
 	// the reading is monotonic, so each value approximates the footprint
-	// needed up to that size.
+	// needed up to that size; ledger replays restore the original reading.
 	PeakHeapBytes uint64
 }
 
@@ -102,6 +109,13 @@ func Scale(o Options) (*ScaleTable, error) {
 		}
 	}
 
+	led, err := openLedger(o)
+	if err != nil {
+		return nil, err
+	}
+	defer led.Close()
+	tr := newProgressTracker(len(o.Nodes) * len(bothSchemes) * o.Fields)
+
 	t := &ScaleTable{Fields: o.Fields}
 	meta := newMetaCollector(o)
 	for _, nodes := range o.Nodes {
@@ -114,27 +128,33 @@ func Scale(o Options) (*ScaleTable, error) {
 				if o.Telemetry {
 					cfg.Telemetry = &obs.Config{}
 				}
-				out, err := core.Run(cfg)
+				cid := cellID{figure: "figscale", series: row.Scheme, x: nodes, field: f}
+				lo, err := runCell(o, led, tr, cid, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("harness: figscale %d/%s field %d: %w",
 						nodes, row.Scheme, f, err)
 				}
-				if err := meta.add(out); err != nil {
+				if err := meta.add(lo); err != nil {
 					return nil, err
 				}
-				m := out.Metrics
-				row.Density = append(row.Density, out.Density)
+				m := lo.Metrics
+				row.Density = append(row.Density, lo.Density)
 				row.Energy = append(row.Energy, m.AvgDissipatedEnergy)
 				row.Ratio = append(row.Ratio, m.DeliveryRatio)
 				row.Delay = append(row.Delay, m.AvgDelay)
-				row.Events += out.Kernel.Events
-				row.WallTime += out.Kernel.WallTime.Seconds()
-				if o.Progress != nil {
-					o.Progress(fmt.Sprintf("figscale n=%d %s field=%d done (%d events, %.0f ev/s)",
-						nodes, row.Scheme, f, out.Kernel.Events, out.Kernel.EventsPerSec()))
+				row.DelayP50 = append(row.DelayP50, m.DelayP50)
+				row.DelayP95 = append(row.DelayP95, m.DelayP95)
+				row.DelayP99 = append(row.DelayP99, m.DelayP99)
+				row.Depth = append(row.Depth, m.MeanDepth)
+				if m.MaxDepth > row.MaxDepth {
+					row.MaxDepth = m.MaxDepth
+				}
+				row.Events += lo.Kernel.Events
+				row.WallTime += lo.Kernel.WallTime.Seconds()
+				if lo.PeakHeap > row.PeakHeapBytes {
+					row.PeakHeapBytes = lo.PeakHeap
 				}
 			}
-			row.PeakHeapBytes = obs.PeakMemoryBytes()
 			t.Rows = append(t.Rows, row)
 		}
 	}
@@ -166,17 +186,19 @@ func (t *ScaleTable) Render(w io.Writer) error {
 
 // CSV writes the sweep in long form, one row per (nodes, scheme).
 func (t *ScaleTable) CSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "figure,nodes,scheme,field_side_m,density_mean,events,wall_s,events_per_sec,peak_heap_bytes,energy_mean,energy_ci,ratio_mean,ratio_ci,delay_mean,delay_ci,fields"); err != nil {
+	if _, err := fmt.Fprintln(w, "figure,nodes,scheme,field_side_m,density_mean,events,wall_s,events_per_sec,peak_heap_bytes,energy_mean,energy_ci,ratio_mean,ratio_ci,delay_mean,delay_ci,delay_p50,delay_p95,delay_p99,depth_mean,depth_max,fields"); err != nil {
 		return err
 	}
 	for i := range t.Rows {
 		r := &t.Rows[i]
-		if _, err := fmt.Fprintf(w, "figscale,%d,%s,%g,%g,%d,%g,%g,%d,%g,%g,%g,%g,%g,%g,%d\n",
+		if _, err := fmt.Fprintf(w, "figscale,%d,%s,%g,%g,%d,%g,%g,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d\n",
 			r.Nodes, r.Scheme, r.FieldSide, r.Density.Mean(),
 			r.Events, r.WallTime, r.EventsPerSec(), r.PeakHeapBytes,
 			r.Energy.Mean(), r.Energy.CI95(),
 			r.Ratio.Mean(), r.Ratio.CI95(),
-			r.Delay.Mean(), r.Delay.CI95(), t.Fields); err != nil {
+			r.Delay.Mean(), r.Delay.CI95(),
+			r.DelayP50.Mean(), r.DelayP95.Mean(), r.DelayP99.Mean(),
+			r.Depth.Mean(), r.MaxDepth, t.Fields); err != nil {
 			return err
 		}
 	}

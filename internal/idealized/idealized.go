@@ -16,6 +16,7 @@ package idealized
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/datacentric"
@@ -156,6 +157,11 @@ func (f *Flooding) generate(src topology.NodeID) {
 }
 
 func (f *Flooding) broadcast(from topology.NodeID, item msg.Item) {
+	// item is a private copy: the outgoing payload rides one more
+	// transmission, so delivered items carry their path length in Hops.
+	if item.Hops < math.MaxUint16 {
+		item.Hops++
+	}
 	m := msg.Message{
 		Kind:     msg.KindData,
 		Interest: 0,
@@ -309,12 +315,18 @@ func (m *Multicast) forward(src, at topology.NodeID, item msg.Item) {
 	if m.isSink[at] && m.observer != nil {
 		m.observer.Delivered(at, item, m.kernel.Now()-time.Duration(item.GenTime))
 	}
+	// The per-child payload rides one more transmission than the copy that
+	// arrived here, so sinks observe their tree depth in Hops.
+	next := item
+	if next.Hops < math.MaxUint16 {
+		next.Hops++
+	}
 	for _, child := range m.children[src][at] {
 		out := msg.Message{
 			Kind:     msg.KindData,
 			Interest: 0,
 			Origin:   src,
-			Items:    []msg.Item{item},
+			Items:    []msg.Item{next},
 			W:        1,
 			Bytes:    msg.EventBytes,
 		}

@@ -14,6 +14,8 @@ package metrics
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"repro/internal/msg"
@@ -35,6 +37,13 @@ type Collector struct {
 	delivered map[topology.NodeID]map[msg.ItemKey]bool
 	delaySum  time.Duration
 	delayN    int
+
+	// delays and hops record every counted delivery's end-to-end latency and
+	// lineage hop count, for the percentile and tree-depth summaries; fanMax
+	// is the widest aggregation merge any delivered item passed through.
+	delays []time.Duration
+	hops   []int
+	fanMax int
 }
 
 // NewCollector returns a collector counting events generated and delivered
@@ -82,6 +91,11 @@ func (c *Collector) Delivered(sink topology.NodeID, item msg.Item, delay time.Du
 	m[item.Key()] = true
 	c.delaySum += delay
 	c.delayN++
+	c.delays = append(c.delays, delay)
+	c.hops = append(c.hops, int(item.Hops))
+	if f := int(item.FanIn); f > c.fanMax {
+		c.fanMax = f
+	}
 }
 
 // GeneratedCount returns the number of distinct events generated in-window.
@@ -120,6 +134,19 @@ type Result struct {
 
 	// AvgDelay is seconds per received distinct event.
 	AvgDelay float64
+
+	// DelayP50/P95/P99 are nearest-rank percentiles (seconds) of the same
+	// per-delivery latency population AvgDelay averages.
+	DelayP50 float64
+	DelayP95 float64
+	DelayP99 float64
+
+	// MeanDepth and MaxDepth summarize delivered items' lineage hop counts —
+	// the effective aggregation-tree depth observed at the sinks. MaxFanIn is
+	// the widest aggregation merge any delivered item passed through.
+	MeanDepth float64
+	MaxDepth  int
+	MaxFanIn  int
 
 	// DeliveryRatio is distinct received / distinct sent, averaged over
 	// sinks.
@@ -187,6 +214,22 @@ func (r Result) LifetimeBound(batteryJ float64, observed time.Duration, idleWatt
 	return time.Duration(batteryJ / watts * float64(time.Second))
 }
 
+// percentile returns the nearest-rank p-th percentile of an ascending
+// sample, in seconds.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Seconds()
+}
+
 // Finalize combines the collector with the run's energy totals. sinks is
 // the number of sinks in the workload (the delivery ratio normalizes by
 // it); totalJ and commJ are summed over all nodes for the measurement
@@ -213,6 +256,24 @@ func (c *Collector) Finalize(scheme string, nodes int, density float64, sinks in
 		r.AvgDissipatedEnergy = perNode / float64(r.DeliveredEvents)
 		r.AvgCommEnergy = (commJ / float64(nodes)) / float64(r.DeliveredEvents)
 		r.AvgDelay = (c.delaySum / time.Duration(c.delayN)).Seconds()
+	}
+	if len(c.delays) > 0 {
+		sorted := append([]time.Duration(nil), c.delays...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		r.DelayP50 = percentile(sorted, 0.50)
+		r.DelayP95 = percentile(sorted, 0.95)
+		r.DelayP99 = percentile(sorted, 0.99)
+	}
+	if len(c.hops) > 0 {
+		sum := 0
+		for _, h := range c.hops {
+			sum += h
+			if h > r.MaxDepth {
+				r.MaxDepth = h
+			}
+		}
+		r.MeanDepth = float64(sum) / float64(len(c.hops))
+		r.MaxFanIn = c.fanMax
 	}
 	if r.GeneratedEvents > 0 {
 		r.DeliveryRatio = float64(r.DeliveredEvents) / float64(r.GeneratedEvents*sinks)

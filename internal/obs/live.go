@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Live is the opt-in debug endpoint: a small HTTP server exposing what a
+// long sweep is doing right now — the current phase, completed-run and
+// kernel-event counters, a merged telemetry snapshot, and the standard
+// net/http/pprof profiling handlers. The simulation itself never blocks on
+// it: binaries push phase changes and per-run summaries into the Live's own
+// mutex-guarded state, and HTTP handlers only ever read that state.
+//
+// Routes:
+//
+//	/              status JSON: phase, runs, events, events/s, uptime
+//	/metrics       merged telemetry snapshot (JSON array of Metric)
+//	/debug/pprof/  the usual pprof index, profile, trace, etc.
+type Live struct {
+	srv *http.Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	start  time.Time
+	phase  string
+	runs   int
+	events uint64
+	wall   time.Duration
+	reg    *Registry
+}
+
+// NewLive starts the debug server on addr (e.g. "localhost:6060"; an empty
+// port picks a free one). The server runs until Close.
+func NewLive(addr string) (*Live, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: live listen %s: %w", addr, err)
+	}
+	l := &Live{ln: ln, start: time.Now(), phase: "starting", reg: NewRegistry()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", l.handleStatus)
+	mux.HandleFunc("/metrics", l.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l.srv = &http.Server{Handler: mux}
+	go func() { _ = l.srv.Serve(ln) }()
+	return l, nil
+}
+
+// Addr returns the address the server is listening on.
+func (l *Live) Addr() string {
+	if l == nil {
+		return ""
+	}
+	return l.ln.Addr().String()
+}
+
+// Close shuts the server down. Safe on a nil receiver.
+func (l *Live) Close() error {
+	if l == nil {
+		return nil
+	}
+	return l.srv.Close()
+}
+
+// SetPhase publishes what the process is currently doing ("fig5",
+// "figchaos", "rendering", ...). Safe on a nil receiver.
+func (l *Live) SetPhase(phase string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.phase = phase
+	l.mu.Unlock()
+}
+
+// AddRun accounts one completed simulation: its kernel event count and wall
+// time feed the throughput figures, and its telemetry snapshot (may be nil)
+// merges into the endpoint's registry. Safe on a nil receiver and for
+// concurrent use by sweep workers.
+func (l *Live) AddRun(events uint64, wall time.Duration, snap []Metric) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.runs++
+	l.events += events
+	l.wall += wall
+	l.mu.Unlock()
+	// The registry has its own mutex; absorb outside ours to keep lock
+	// ordering trivial.
+	_ = l.reg.Absorb(snap)
+}
+
+// liveStatus is the JSON shape served at /.
+type liveStatus struct {
+	Phase         string  `json:"phase"`
+	Runs          int     `json:"runs"`
+	KernelEvents  uint64  `json:"kernel_events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (l *Live) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	l.mu.Lock()
+	st := liveStatus{
+		Phase:         l.phase,
+		Runs:          l.runs,
+		KernelEvents:  l.events,
+		WallSeconds:   l.wall.Seconds(),
+		UptimeSeconds: time.Since(l.start).Seconds(),
+	}
+	l.mu.Unlock()
+	if st.WallSeconds > 0 {
+		st.EventsPerSec = float64(st.KernelEvents) / st.WallSeconds
+	}
+	writeJSON(w, st)
+}
+
+func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, l.reg.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -21,6 +21,11 @@ type Manifest struct {
 	CreatedAt     string `json:"created_at,omitempty"` // RFC 3339, wall clock
 	GoVersion     string `json:"go_version"`
 	NumCPU        int    `json:"num_cpu"`
+	// Host provenance: the scheduler width and platform the sweep ran on
+	// (wall-time and events/s figures are only comparable within a host).
+	GoMaxProcs int    `json:"go_max_procs,omitempty"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
 
 	// The sweep configuration: schemes and x values of the table, random
 	// fields per point, simulated seconds per run, and the seed base every

@@ -5,8 +5,10 @@
 // The design goal is zero cost when disabled: instrument handles are
 // pointers whose methods are nil-receiver no-ops, so instrumented code calls
 // them unconditionally and a run without telemetry pays only a nil check.
-// A Registry is single-threaded by design — each simulation run owns one —
-// and concurrent sweeps merge per-run snapshots afterwards with Absorb.
+// Handle mutation is single-threaded by design — each simulation run owns
+// its registry — but registry-level operations (handle creation, Snapshot,
+// Absorb) take an internal mutex, so concurrent sweeps may merge per-run
+// snapshots into one shared aggregate registry from many goroutines.
 package obs
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -170,9 +173,13 @@ func (m Metric) key() string {
 	return m.Name + "{" + m.Labels + "}"
 }
 
-// Registry holds one run's metrics. It is not safe for concurrent use; give
-// each concurrent run its own registry and merge snapshots with Absorb.
+// Registry holds one run's metrics. Handles returned by Counter, Gauge, and
+// Histogram are mutated without locking — give each concurrent run its own
+// registry. Registry-level operations (handle creation, Snapshot, Absorb)
+// are mutex-guarded, so one aggregate registry can absorb snapshots from
+// many worker goroutines concurrently.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -214,6 +221,12 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counterLocked(name, labels)
+}
+
+func (r *Registry) counterLocked(name string, labels []Label) *Counter {
 	key, tmpl := r.template(name, KindCounter, labels)
 	c, ok := r.counters[key]
 	if !ok {
@@ -230,6 +243,12 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gaugeLocked(name, labels)
+}
+
+func (r *Registry) gaugeLocked(name string, labels []Label) *Gauge {
 	key, tmpl := r.template(name, KindGauge, labels)
 	g, ok := r.gauges[key]
 	if !ok {
@@ -247,6 +266,12 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.histogramLocked(name, bounds, labels)
+}
+
+func (r *Registry) histogramLocked(name string, bounds []float64, labels []Label) *Histogram {
 	key, tmpl := r.template(name, KindHistogram, labels)
 	h, ok := r.hists[key]
 	if !ok {
@@ -265,6 +290,8 @@ func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	keys := make([]string, 0, len(r.names))
 	for k := range r.names {
 		keys = append(keys, k)
@@ -305,11 +332,14 @@ const infBound = 1e308
 // Absorb merges a snapshot into the registry: counters add, gauges keep the
 // component-wise maximum (their last value becomes the max), histograms with
 // matching bounds add bucket-wise. Kind or bound mismatches are reported and
-// nothing else is merged for that metric.
+// nothing else is merged for that metric. The registry mutex is held for the
+// whole merge, so concurrent Absorb calls are safe.
 func (r *Registry) Absorb(snap []Metric) error {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, m := range snap {
 		key := m.key()
 		if have, ok := r.names[key]; ok && have.Kind != m.Kind {
@@ -317,9 +347,9 @@ func (r *Registry) Absorb(snap []Metric) error {
 		}
 		switch m.Kind {
 		case KindCounter:
-			r.Counter(m.Name, parseLabels(m.Labels)...).Add(int64(m.Value))
+			r.counterLocked(m.Name, parseLabels(m.Labels)).Add(int64(m.Value))
 		case KindGauge:
-			g := r.Gauge(m.Name, parseLabels(m.Labels)...)
+			g := r.gaugeLocked(m.Name, parseLabels(m.Labels))
 			if v := m.Max; v > g.Max() || !g.set {
 				g.Set(v)
 			}
@@ -330,7 +360,7 @@ func (r *Registry) Absorb(snap []Metric) error {
 					bounds = append(bounds, b.Bound)
 				}
 			}
-			h := r.Histogram(m.Name, bounds, parseLabels(m.Labels)...)
+			h := r.histogramLocked(m.Name, bounds, parseLabels(m.Labels))
 			if len(h.counts) != len(m.Buckets) {
 				return fmt.Errorf("obs: absorb %s: %d buckets vs %d", key, len(m.Buckets), len(h.counts))
 			}

@@ -3,6 +3,8 @@ package obs
 import (
 	"math"
 	"path/filepath"
+	"strconv"
+	"sync"
 	"testing"
 )
 
@@ -171,5 +173,57 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadManifest(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing manifest not reported")
+	}
+}
+
+// TestAbsorbConcurrent stress-tests the registry mutex: many goroutines
+// absorb per-worker snapshots into one shared registry while readers take
+// snapshots and register new handles. Run under -race this catches any
+// unguarded map access; the final totals catch lost merges.
+func TestAbsorbConcurrent(t *testing.T) {
+	const workers, rounds = 8, 50
+	agg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r := NewRegistry()
+				r.Counter("events", Label{"worker", strconv.Itoa(w)}).Add(1)
+				r.Counter("total").Add(2)
+				r.Gauge("depth").Set(float64(w))
+				r.Histogram("delay", []float64{1, 10}).Observe(float64(i))
+				if err := agg.Absorb(r.Snapshot()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent readers and registrations on the shared registry.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			_ = agg.Snapshot()
+			agg.Counter("reader").Inc()
+		}
+	}()
+	wg.Wait()
+	snap := agg.Snapshot()
+	if got := Value(snap, "total"); got != workers*rounds*2 {
+		t.Fatalf("merged total = %g, want %d", got, workers*rounds*2)
+	}
+	sum := 0.0
+	for _, m := range Find(snap, "events") {
+		sum += m.Value
+	}
+	if sum != workers*rounds {
+		t.Fatalf("per-worker events sum = %g, want %d", sum, workers*rounds)
+	}
+	if got := Value(snap, "reader"); got != rounds {
+		t.Fatalf("reader counter = %g, want %d", got, rounds)
 	}
 }

@@ -47,6 +47,9 @@ type rawRecord struct {
 	W        int    `json:"w,omitempty"`
 	Fresh    int    `json:"fresh,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	Hops     int    `json:"hops,omitempty"`
+	FanIn    int    `json:"fan_in,omitempty"`
+	DelayNS  int64  `json:"delay_ns,omitempty"`
 
 	// Snapshot fields (Interest is shared with events).
 	On       bool      `json:"on,omitempty"`
@@ -112,6 +115,9 @@ func (n *NDJSON) Record(e Event) {
 		W:        e.W,
 		Fresh:    e.Fresh,
 		Reason:   e.Reason.String(),
+		Hops:     e.Hops,
+		FanIn:    e.FanIn,
+		DelayNS:  int64(e.Delay),
 	})
 }
 
@@ -252,6 +258,9 @@ func (d *Decoder) Next() (DecodedRecord, error) {
 				W:        r.W,
 				Fresh:    r.Fresh,
 				Reason:   reason,
+				Hops:     r.Hops,
+				FanIn:    r.FanIn,
+				Delay:    time.Duration(r.DelayNS),
 			}}, nil
 		case recordSnapshot:
 			s := SnapshotRecord{

@@ -33,6 +33,11 @@ const (
 	// chaos invariant checker uses these to excuse post-repair
 	// re-reinforcement from the stale-cycle rule.
 	OpRepair
+	// OpDeliver is a distinct event's first arrival at a sink (Node), carrying
+	// its message lineage: Origin is the source, Delay the end-to-end latency,
+	// Hops the transmissions the payload took, and FanIn the widest
+	// aggregation merge it passed through.
+	OpDeliver
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +51,8 @@ func (o Op) String() string {
 		return "drop"
 	case OpRepair:
 		return "repair"
+	case OpDeliver:
+		return "deliver"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -53,7 +60,7 @@ func (o Op) String() string {
 
 // ParseOp inverts Op.String.
 func ParseOp(name string) (Op, error) {
-	for _, o := range []Op{OpSend, OpReceive, OpDrop, OpRepair} {
+	for _, o := range []Op{OpSend, OpReceive, OpDrop, OpRepair, OpDeliver} {
 		if o.String() == name {
 			return o, nil
 		}
@@ -134,6 +141,12 @@ type Event struct {
 	Fresh int
 	// Reason classifies OpDrop events; DropNone otherwise.
 	Reason DropReason
+	// Hops, FanIn, and Delay are the lineage fields of OpDeliver events:
+	// transmissions from source to sink, widest aggregation merge en route,
+	// and end-to-end latency. Zero for every other op.
+	Hops  int
+	FanIn int
+	Delay time.Duration
 }
 
 // String renders the event as one log line.
@@ -142,6 +155,9 @@ func (e Event) String() string {
 		e.At, e.Op, e.Node, e.Peer, e.Kind, e.Interest, e.Origin, e.Items, e.E, e.C, e.W)
 	if e.Reason != DropNone {
 		s += " reason=" + e.Reason.String()
+	}
+	if e.Op == OpDeliver {
+		s += fmt.Sprintf(" hops=%d fanin=%d delay=%v", e.Hops, e.FanIn, e.Delay)
 	}
 	return s
 }
