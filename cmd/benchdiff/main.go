@@ -15,6 +15,8 @@
 // Only allocs/op and B/op are gated by default: they are properties of the
 // code, identical on every machine. Pass -time to also gate ns/op, which
 // is only meaningful when baseline and current ran on the same hardware.
+// Pass -metric <unit> (repeatable) to gate a custom b.ReportMetric column
+// whose growth is bad, e.g. -metric bytes/node.
 package main
 
 import (
@@ -39,12 +41,27 @@ func main() {
 // errRegression distinguishes gate failures from usage errors.
 var errRegression = fmt.Errorf("benchmark regression")
 
+// metricList collects repeated -metric flags.
+type metricList []string
+
+func (m *metricList) String() string { return strings.Join(*m, ",") }
+
+func (m *metricList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty metric unit")
+	}
+	*m = append(*m, v)
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	outPath := fs.String("out", "", "snapshot mode: write parsed results to this baseline JSON")
 	basePath := fs.String("baseline", "", "compare mode: baseline JSON to gate against")
 	threshold := fs.Float64("threshold", 0.15, "tolerated fractional growth per gated quantity")
 	gateTime := fs.Bool("time", false, "also gate ns/op (same-hardware comparisons only)")
+	var metrics metricList
+	fs.Var(&metrics, "metric", "custom metric unit to gate where growth is bad (repeatable), e.g. bytes/node")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,8 +90,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	deltas := bench.Compare(base, cur, bench.CompareOptions{
-		Threshold: *threshold,
-		GateTime:  *gateTime,
+		Threshold:   *threshold,
+		GateTime:    *gateTime,
+		GateMetrics: metrics,
 	})
 	if len(deltas) == 0 {
 		return fmt.Errorf("no benchmarks in common between %s and the current run", *basePath)

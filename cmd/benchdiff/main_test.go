@@ -92,6 +92,38 @@ func TestCompareAcceptsSnapshotAsCurrent(t *testing.T) {
 	}
 }
 
+func TestCompareMetricFlag(t *testing.T) {
+	const withMetric = `goos: linux
+BenchmarkScaleSweep/nodes=500 	       2	 100000000 ns/op	       12000 bytes/node	       0 B/op	       0 allocs/op
+PASS
+`
+	const metricGrew = `goos: linux
+BenchmarkScaleSweep/nodes=500 	       2	 100000000 ns/op	       16000 bytes/node	       0 B/op	       0 allocs/op
+PASS
+`
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	snapshot(t, withMetric, basePath)
+	cur := filepath.Join(dir, "cur.txt")
+	if err := os.WriteFile(cur, []byte(metricGrew), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without -metric the growth passes; with it, the gate trips.
+	var sb strings.Builder
+	if err := run([]string{"-baseline", basePath, cur}, &sb); err != nil {
+		t.Fatalf("bytes/node gated without -metric: %v\n%s", err, sb.String())
+	}
+	sb.Reset()
+	err := run([]string{"-baseline", basePath, "-metric", "bytes/node", cur}, &sb)
+	if err == nil {
+		t.Fatalf("bytes/node +33%% passed -metric gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "bytes/node") {
+		t.Fatalf("log does not name the gated metric:\n%s", sb.String())
+	}
+}
+
 func TestModeFlagValidation(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"x.txt"}, &sb); err == nil {

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -74,12 +75,15 @@ func run(args []string, out io.Writer) error {
 		fields     = fs.Int("fields", 0, "random fields per data point (default: paper's 10, or 3 with -quick)")
 		duration   = fs.Duration("duration", 0, "simulated seconds per run (default 160s, 60s with -quick)")
 		quick      = fs.Bool("quick", false, "reduced preset: 3 fields, 60 s, 3 densities (scale: 500 nodes only)")
+		jobs       = fs.Int("jobs", 0, "cap on concurrent simulation workers (default GOMAXPROCS)")
 		outDir     = fs.String("out", "", "directory for CSV output (created if missing)")
 		plots      = fs.Bool("plot", false, "also draw each panel as an ASCII chart")
 		progress   = fs.Bool("progress", false, "log each completed run to stderr with sweep progress and ETA")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write an allocation heap profile to this file on exit")
 
+		scaleNodes     = fs.String("scale-nodes", "", `override the -fig scale node ladder with a comma-separated ascending list, e.g. "500,5000"`)
+		big            = fs.Bool("big", false, "extend the -fig scale ladder with the 50000-node rung (needs several GB of heap)")
 		ledger         = fs.String("ledger", "", "sweep progress ledger file: completed runs are recorded there and skipped on a re-run, so an interrupted sweep resumes")
 		liveAddr       = fs.String("live", "", `serve the live debug endpoint (status, /metrics, /debug/pprof) on this address, e.g. "localhost:6060"`)
 		flightDir      = fs.String("flight-dir", "", "arm a flight recorder on every run, dumping per-cell files into this directory on an invariant violation or panic")
@@ -137,6 +141,10 @@ func run(args []string, out io.Writer) error {
 	if *duration > 0 {
 		opts.Duration = *duration
 	}
+	if *jobs < 0 {
+		return fmt.Errorf("negative -jobs %d", *jobs)
+	}
+	opts.Workers = *jobs
 	if *progress {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -290,6 +298,16 @@ func run(args []string, out io.Writer) error {
 		if *quick {
 			scaleOpts.Nodes = harness.ScaleNodesQuick
 		}
+		if *scaleNodes != "" {
+			ladder, err := parseNodeLadder(*scaleNodes)
+			if err != nil {
+				return fmt.Errorf("scale: %w", err)
+			}
+			scaleOpts.Nodes = ladder
+		}
+		if *big {
+			scaleOpts.Nodes = append(append([]int(nil), scaleOpts.Nodes...), harness.ScaleNodesBig...)
+		}
 		live.SetPhase("scale")
 		tbl, err := harness.Scale(scaleOpts)
 		if err != nil {
@@ -374,6 +392,28 @@ func run(args []string, out io.Writer) error {
 	live.SetPhase("done")
 	fmt.Fprintf(out, "total: %d table(s) in %v\n", ran, time.Since(start).Round(time.Second))
 	return nil
+}
+
+// parseNodeLadder parses a -scale-nodes override: comma-separated positive
+// node counts, strictly ascending (Scale enforces the order; checking here
+// gives the flag its own error message).
+func parseNodeLadder(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	ladder := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -scale-nodes entry %q: %w", p, err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("non-positive -scale-nodes entry %d", n)
+		}
+		if len(ladder) > 0 && n <= ladder[len(ladder)-1] {
+			return nil, fmt.Errorf("-scale-nodes must be strictly ascending, got %q", s)
+		}
+		ladder = append(ladder, n)
+	}
+	return ladder, nil
 }
 
 func writeCSV(dir, name string, write func(io.Writer) error) error {

@@ -91,6 +91,78 @@ func TestExperimentsUnknownFigure(t *testing.T) {
 	}
 }
 
+func TestParseNodeLadder(t *testing.T) {
+	good := map[string][]int{
+		"500":             {500},
+		"500,5000":        {500, 5000},
+		" 500, 1000,2000": {500, 1000, 2000},
+	}
+	for in, want := range good {
+		got, err := parseNodeLadder(in)
+		if err != nil {
+			t.Fatalf("parseNodeLadder(%q): %v", in, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("parseNodeLadder(%q) = %v, want %v", in, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("parseNodeLadder(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, bad := range []string{"", "abc", "500,,1000", "0", "-5", "1000,500", "500,500"} {
+		if _, err := parseNodeLadder(bad); err == nil {
+			t.Errorf("parseNodeLadder(%q) accepted", bad)
+		}
+	}
+}
+
+func TestExperimentsScaleNodesOverride(t *testing.T) {
+	// -scale-nodes replaces the ladder; the tiny rung keeps the test fast,
+	// and the CSV must carry the new bytes_per_node column with a nonzero
+	// reading for every row.
+	dir := filepath.Join(t.TempDir(), "res")
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "scale", "-fields", "1", "-duration", "10s",
+		"-scale-nodes", "150", "-jobs", "2", "-out", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figscale.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 4 || !strings.HasPrefix(lines[0], "#") ||
+		!strings.Contains(lines[1], ",bytes_per_node,") {
+		t.Fatalf("csv missing comment or bytes_per_node column:\n%s", data)
+	}
+	for _, row := range lines[2:] {
+		if !strings.HasPrefix(row, "figscale,150,") {
+			t.Fatalf("row does not use the overridden rung:\n%s", row)
+		}
+		cols := strings.Split(row, ",")
+		if cols[9] == "0" {
+			t.Fatalf("bytes_per_node is zero:\n%s", row)
+		}
+	}
+	man, err := obs.ReadManifest(filepath.Join(dir, "figscale.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.BytesPerNode) != 1 || man.BytesPerNode[0] == 0 {
+		t.Fatalf("manifest bytes_per_node unfilled: %+v", man.BytesPerNode)
+	}
+}
+
+func TestExperimentsBadJobs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "5", "-quick", "-jobs", "-1"}, &buf); err == nil {
+		t.Fatal("negative -jobs accepted")
+	}
+}
+
 func TestExperimentsRepairQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("repair ablation runs the chaos grid twice")

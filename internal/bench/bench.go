@@ -186,6 +186,11 @@ type CompareOptions struct {
 	// property of the host, and CI hosts differ by more than any
 	// reasonable threshold.
 	GateTime bool
+	// GateMetrics lists custom metric units (b.ReportMetric keys like
+	// "bytes/node") to gate in addition to the standard quantities. Growth
+	// past Threshold fails; a metric absent from either snapshot's result
+	// is skipped, like a benchmark present on only one side.
+	GateMetrics []string
 }
 
 // Compare gates every benchmark present in both snapshots. Benchmarks only
@@ -218,6 +223,13 @@ func Compare(base, cur *Baseline, opt CompareOptions) []Delta {
 		gate(br.Name, "B/op", br.BytesPerOp, cr.BytesPerOp)
 		if opt.GateTime {
 			gate(br.Name, "ns/op", br.NsPerOp, cr.NsPerOp)
+		}
+		for _, unit := range opt.GateMetrics {
+			b, bok := br.Metrics[unit]
+			c, cok := cr.Metrics[unit]
+			if bok && cok {
+				gate(br.Name, unit, b, c)
+			}
 		}
 	}
 	return deltas

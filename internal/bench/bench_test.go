@@ -134,6 +134,38 @@ func TestCompareGatesAllocsNotTime(t *testing.T) {
 	}
 }
 
+func TestCompareGateMetrics(t *testing.T) {
+	base := &Baseline{Results: []Result{
+		{Name: "A", Metrics: map[string]float64{"bytes/node": 12000, "events/s": 500000}},
+		{Name: "B", Metrics: map[string]float64{"events/s": 400000}},
+	}}
+	cur := &Baseline{Results: []Result{
+		{Name: "A", Metrics: map[string]float64{"bytes/node": 15000, "events/s": 100}}, // +25%: regression
+		{Name: "B", Metrics: map[string]float64{"events/s": 100}},                      // bytes/node absent: skipped
+	}}
+
+	// Without GateMetrics the custom columns are ignored entirely.
+	for _, d := range Compare(base, cur, CompareOptions{Threshold: 0.15}) {
+		if d.Quantity == "bytes/node" || d.Quantity == "events/s" {
+			t.Fatalf("custom metric %s gated without GateMetrics", d.Quantity)
+		}
+	}
+
+	deltas := Compare(base, cur, CompareOptions{Threshold: 0.15, GateMetrics: []string{"bytes/node"}})
+	bad := Regressions(deltas)
+	if len(bad) != 1 || bad[0].Bench != "A" || bad[0].Quantity != "bytes/node" {
+		t.Fatalf("regressions = %+v, want only A bytes/node", bad)
+	}
+	for _, d := range deltas {
+		if d.Bench == "B" && d.Quantity == "bytes/node" {
+			t.Fatal("metric absent from current compared anyway")
+		}
+		if d.Quantity == "events/s" {
+			t.Fatal("unlisted metric gated")
+		}
+	}
+}
+
 func TestCompareZeroBaseline(t *testing.T) {
 	base := &Baseline{Results: []Result{{Name: "Z", AllocsPerOp: 0}}}
 	ok := &Baseline{Results: []Result{{Name: "Z", AllocsPerOp: 1}}}

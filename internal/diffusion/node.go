@@ -156,12 +156,13 @@ type node struct {
 	retries []ctrlRetry
 }
 
-func newNode(rt *Runtime, id topology.NodeID) *node {
-	return &node{
-		rt:       rt,
-		id:       id,
-		procBias: rt.jitter(rt.params.FloodJitterMax / 2),
-	}
+// initNode populates a slab slot in place; the procBias RNG draw happens
+// here, in ascending-ID order, exactly as the pointer-per-node constructor
+// drew it.
+func initNode(n *node, rt *Runtime, id topology.NodeID) {
+	n.rt = rt
+	n.id = id
+	n.procBias = rt.jitter(rt.params.FloodJitterMax / 2)
 }
 
 // floodDelay returns the forwarding delay for flood rebroadcasts: the

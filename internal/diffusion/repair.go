@@ -75,7 +75,7 @@ func (rt *Runtime) unicastOutcome(from, to topology.NodeID, f mac.Frame, acked b
 	if !ok {
 		return
 	}
-	n := rt.nodes[from]
+	n := &rt.nodes[from]
 	n.lq.observe(to, acked, rt.params.Repair.LinkAlpha, rt.kernel.Now())
 	if acked {
 		n.clearCtrlRetry(to, m.Kind, m.Interest, m.ID)

@@ -83,7 +83,11 @@ type Runtime struct {
 	strategy Strategy
 	roles    Roles
 	observer Observer
-	nodes    []*node
+	// nodes is a struct-of-arrays slab: one contiguous value slice sized to
+	// the field and never grown, so interior pointers (&rt.nodes[i] held by
+	// pooled nodeTimers, receiver closures, and Node()) stay valid for the
+	// runtime's lifetime without a pointer-chase per node.
+	nodes    []node
 	started  bool
 	sent     map[msg.Kind]int
 	tracer   Tracer
@@ -196,11 +200,11 @@ func New(kernel *sim.Kernel, net *mac.Network, field *topology.Field, params Par
 		strategy: strategy,
 		roles:    roles,
 		observer: observer,
-		nodes:    make([]*node, field.Len()),
+		nodes:    make([]node, field.Len()),
 		sent:     make(map[msg.Kind]int),
 	}
 	for i := range rt.nodes {
-		rt.nodes[i] = newNode(rt, topology.NodeID(i))
+		initNode(&rt.nodes[i], rt, topology.NodeID(i))
 	}
 	for si, s := range roles.Sinks {
 		rt.nodes[s].sinkInterest = msg.InterestID(si)
@@ -211,7 +215,7 @@ func New(kernel *sim.Kernel, net *mac.Network, field *topology.Field, params Par
 	}
 	for i := range rt.nodes {
 		id := topology.NodeID(i)
-		n := rt.nodes[i]
+		n := &rt.nodes[i]
 		net.SetReceiver(id, n.receive)
 	}
 	return rt, nil
@@ -224,12 +228,12 @@ func (rt *Runtime) Strategy() Strategy { return rt.strategy }
 func (rt *Runtime) Params() Params { return rt.params }
 
 // Node returns the protocol state handle for tests and inspection tools.
-func (rt *Runtime) Node(id topology.NodeID) *node { return rt.nodes[id] }
+func (rt *Runtime) Node(id topology.NodeID) *node { return &rt.nodes[id] }
 
 // DataGradients returns node id's live downstream data-gradient neighbors
 // for an interest, in ascending order — the tree structure, for inspection.
 func (rt *Runtime) DataGradients(id topology.NodeID, iid msg.InterestID) []topology.NodeID {
-	n := rt.nodes[id]
+	n := &rt.nodes[id]
 	st := n.interests.get(iid)
 	if st == nil {
 		return nil
@@ -293,8 +297,8 @@ func (rt *Runtime) Start() {
 	for _, s := range rt.roles.Sinks {
 		rt.nodes[s].startSink()
 	}
-	for _, n := range rt.nodes {
-		n.startHousekeeping()
+	for i := range rt.nodes {
+		rt.nodes[i].startHousekeeping()
 	}
 }
 
@@ -318,7 +322,8 @@ func (rt *Runtime) newMsgID() msg.MsgID {
 func (rt *Runtime) Snapshot() []trace.SnapshotRecord {
 	var out []trace.SnapshotRecord
 	now := rt.kernel.Now()
-	for _, n := range rt.nodes {
+	for ni := range rt.nodes {
+		n := &rt.nodes[ni]
 		for i := range n.interests.sts {
 			iid := n.interests.ids[i]
 			st := n.interests.sts[i]

@@ -30,7 +30,9 @@ type Options struct {
 	Nodes []int
 	// BaseSeed offsets all field seeds, for sensitivity checks.
 	BaseSeed int64
-	// Workers bounds the number of concurrent simulations (0 = NumCPU).
+	// Workers bounds the number of concurrent simulations (0 = GOMAXPROCS,
+	// so a GOMAXPROCS-limited process doesn't oversubscribe itself; the
+	// experiments binary exposes this as -jobs).
 	Workers int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(string)
@@ -98,7 +100,7 @@ func (o Options) workers() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
-	return runtime.NumCPU()
+	return runtime.GOMAXPROCS(0)
 }
 
 // Cell aggregates one (x, scheme) data point over the sampled fields.

@@ -38,8 +38,9 @@ type LedgerOutput struct {
 	// on), preserved so replays merge into sweep manifests exactly like the
 	// original runs did.
 	Telemetry []obs.Metric `json:"telemetry,omitempty"`
-	// PeakHeap samples the process footprint right after the run, for the
-	// scale figure's per-rung memory column.
+	// PeakHeap samples the in-use heap right after the run
+	// (obs.HeapFootprintBytes — no longer the monotonic MemStats.Sys), for
+	// the scale figure's per-rung memory and bytes/node columns.
 	PeakHeap uint64 `json:"peak_heap,omitempty"`
 }
 
@@ -55,7 +56,7 @@ func summarize(out core.Output) LedgerOutput {
 		Mobility:  out.Mobility,
 		Repair:    out.Repair,
 		Telemetry: out.Telemetry,
-		PeakHeap:  obs.PeakMemoryBytes(),
+		PeakHeap:  obs.HeapFootprintBytes(),
 	}
 }
 

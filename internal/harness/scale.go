@@ -11,10 +11,12 @@ import (
 )
 
 // ScaleNodes is the default node-count ladder for the scale figure; the
-// quick preset stops after the first rung.
+// quick preset stops after the first rung, and ScaleNodesBig is the opt-in
+// extension (experiments -big) whose top rung needs several GB of heap.
 var (
-	ScaleNodes      = []int{500, 1000, 2000}
+	ScaleNodes      = []int{500, 1000, 2000, 5000, 10000, 20000}
 	ScaleNodesQuick = []int{500}
+	ScaleNodesBig   = []int{50000}
 )
 
 // scaleBaseNodes/scaleBaseSide pin the paper's middle density (150 nodes on
@@ -56,11 +58,22 @@ type ScaleRow struct {
 	// throughput headline the rung exists to measure.
 	Events   uint64
 	WallTime float64 // seconds
-	// PeakHeapBytes is the largest per-run OS-memory high-water mark over
-	// the rung's fields. Rungs run sequentially in ascending node order and
-	// the reading is monotonic, so each value approximates the footprint
-	// needed up to that size; ledger replays restore the original reading.
+	// PeakHeapBytes is the largest per-run in-use heap reading
+	// (obs.HeapFootprintBytes) over the rung's fields. Rungs run
+	// sequentially with a forced GC at each rung start (obs.SettleHeap), so
+	// the reading is per-rung rather than a process-lifetime high-water
+	// mark: each value is this rung's own footprint, and BytesPerNode is an
+	// honest per-node cost. Ledger replays restore the original reading.
 	PeakHeapBytes uint64
+}
+
+// BytesPerNode returns the rung's peak heap divided by its population — the
+// per-node memory cost the SoA and receiver-set work exists to bound.
+func (r *ScaleRow) BytesPerNode() uint64 {
+	if r.Nodes <= 0 {
+		return 0
+	}
+	return r.PeakHeapBytes / uint64(r.Nodes)
 }
 
 // EventsPerSec returns the rung's kernel throughput per wall-clock second.
@@ -79,26 +92,35 @@ type ScaleTable struct {
 	Meta *RunMeta
 }
 
-// Manifest builds the provenance record written beside the figure's CSV.
+// Manifest builds the provenance record written beside the figure's CSV,
+// including the per-rung bytes/node series (max across schemes, aligned
+// with the manifest's Xs).
 func (t *ScaleTable) Manifest() *obs.Manifest {
 	schemes := make([]string, len(bothSchemes))
 	for i, s := range bothSchemes {
 		schemes[i] = s.String()
 	}
 	var xs []int
-	for _, r := range t.Rows {
+	var bpn []uint64
+	for i := range t.Rows {
+		r := &t.Rows[i]
 		if len(xs) == 0 || xs[len(xs)-1] != r.Nodes {
 			xs = append(xs, r.Nodes)
+			bpn = append(bpn, r.BytesPerNode())
+		} else if b := r.BytesPerNode(); b > bpn[len(bpn)-1] {
+			bpn[len(bpn)-1] = b
 		}
 	}
-	return t.Meta.Manifest("figscale", schemes, xs)
+	m := t.Meta.Manifest("figscale", schemes, xs)
+	m.BytesPerNode = bpn
+	return m
 }
 
 // Scale runs the scalability sweep: each node count in o.Nodes (ascending)
 // at the paper's middle density, both schemes, averaged over the sampled
-// fields. Unlike the other figures the runs execute sequentially — the peak
-// memory reading is process-wide and monotonic, so ascending sequential
-// execution is what makes the per-rung footprint column meaningful.
+// fields. Unlike the other figures the runs execute sequentially — the heap
+// readings are process-wide, so one run at a time (with a forced GC between
+// rungs) is what makes the per-rung footprint column meaningful.
 func Scale(o Options) (*ScaleTable, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
@@ -119,6 +141,9 @@ func Scale(o Options) (*ScaleTable, error) {
 	t := &ScaleTable{Fields: o.Fields}
 	meta := newMetaCollector(o)
 	for _, nodes := range o.Nodes {
+		// Drop the previous rung's garbage so this rung's heap readings
+		// attribute only its own footprint.
+		obs.SettleHeap()
 		side := scaleFieldSide(nodes)
 		for _, s := range bothSchemes {
 			row := ScaleRow{Nodes: nodes, Scheme: s.String(), FieldSide: side}
@@ -169,31 +194,37 @@ func (t *ScaleTable) Render(w io.Writer) error {
 		t.Fields); err != nil {
 		return err
 	}
-	header := fmt.Sprintf("%6s %14s %7s %8s %10s %9s %10s %7s %8s",
-		"nodes", "scheme", "side_m", "density", "events/s", "peak_mb", "energy", "ratio", "delay_s")
+	header := fmt.Sprintf("%6s %14s %7s %8s %10s %9s %8s %10s %7s %8s",
+		"nodes", "scheme", "side_m", "density", "events/s", "peak_mb", "b/node", "energy", "ratio", "delay_s")
 	fmt.Fprintln(w, header)
 	fmt.Fprintln(w, strings.Repeat("-", len(header)))
 	for i := range t.Rows {
 		r := &t.Rows[i]
-		fmt.Fprintf(w, "%6d %14s %7.0f %8.2f %10.0f %9.1f %10.3g %7.3f %8.3f\n",
+		fmt.Fprintf(w, "%6d %14s %7.0f %8.2f %10.0f %9.1f %8d %10.3g %7.3f %8.3f\n",
 			r.Nodes, r.Scheme, r.FieldSide, r.Density.Mean(),
-			r.EventsPerSec(), float64(r.PeakHeapBytes)/(1<<20),
+			r.EventsPerSec(), float64(r.PeakHeapBytes)/(1<<20), r.BytesPerNode(),
 			r.Energy.Mean(), r.Ratio.Mean(), r.Delay.Mean())
 	}
 	_, err := fmt.Fprintln(w)
 	return err
 }
 
-// CSV writes the sweep in long form, one row per (nodes, scheme).
+// CSV writes the sweep in long form, one row per (nodes, scheme). The
+// leading comment documents the memory columns: since the rung-start GC
+// landed, peak_heap_bytes is each rung's own in-use heap (not a process
+// high-water mark), and bytes_per_node divides it by the population.
 func (t *ScaleTable) CSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "figure,nodes,scheme,field_side_m,density_mean,events,wall_s,events_per_sec,peak_heap_bytes,energy_mean,energy_ci,ratio_mean,ratio_ci,delay_mean,delay_ci,delay_p50,delay_p95,delay_p99,depth_mean,depth_max,fields"); err != nil {
+	if _, err := fmt.Fprintln(w, "# peak_heap_bytes is the rung's own in-use heap (GC forced at rung start; not a monotonic process high-water mark); bytes_per_node = peak_heap_bytes / nodes"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "figure,nodes,scheme,field_side_m,density_mean,events,wall_s,events_per_sec,peak_heap_bytes,bytes_per_node,energy_mean,energy_ci,ratio_mean,ratio_ci,delay_mean,delay_ci,delay_p50,delay_p95,delay_p99,depth_mean,depth_max,fields"); err != nil {
 		return err
 	}
 	for i := range t.Rows {
 		r := &t.Rows[i]
-		if _, err := fmt.Fprintf(w, "figscale,%d,%s,%g,%g,%d,%g,%g,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "figscale,%d,%s,%g,%g,%d,%g,%g,%d,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d\n",
 			r.Nodes, r.Scheme, r.FieldSide, r.Density.Mean(),
-			r.Events, r.WallTime, r.EventsPerSec(), r.PeakHeapBytes,
+			r.Events, r.WallTime, r.EventsPerSec(), r.PeakHeapBytes, r.BytesPerNode(),
 			r.Energy.Mean(), r.Energy.CI95(),
 			r.Ratio.Mean(), r.Ratio.CI95(),
 			r.Delay.Mean(), r.Delay.CI95(),

@@ -25,18 +25,20 @@
 //     (overhearing and collision victims included) — this is why density is
 //     expensive and why smaller aggregation trees save energy.
 //
-// The implementation is allocation-free in steady state: transmissions are
-// pooled and carry preallocated per-receiver corruption/loss bitsets sized
-// to the field, outbound frames are pooled, contention re-arms through a
-// prebuilt per-node closure, and every delayed MAC step (airtime end, SIFS
-// gaps, ACK timeouts) is dispatched through pooled sim.Runner records
-// instead of fresh closures. Density sweeps spend most of their events
-// here, so per-frame garbage directly caps simulator throughput.
+// The implementation is allocation-free in steady state and degree-bounded
+// per frame: transmissions are pooled and carry a sorted touched-list of the
+// receivers they were put in front of (capacity grows to the radio degree,
+// never the field size), outbound frames are pooled, contention re-arms
+// through a prebuilt per-node closure, and every delayed MAC step (airtime
+// end, SIFS gaps, ACK timeouts) is dispatched through pooled sim.Runner
+// records instead of fresh closures. Density sweeps spend most of their
+// events here, so per-frame garbage directly caps simulator throughput, and
+// constant-density scale sweeps depend on per-frame work tracking degree
+// rather than population.
 package mac
 
 import (
 	"fmt"
-	"math/bits"
 	"math/rand"
 	"time"
 
@@ -223,18 +225,81 @@ type UnicastOutcome func(from, to topology.NodeID, f Frame, acked bool, retries 
 // ideal unit-disk channel.
 type LinkFilter func(from, to topology.NodeID) bool
 
-// bitset is a fixed-capacity per-node flag set. Transmissions carry three,
-// sized once to the field, so marking a receiver corrupted, link-lost, or
-// heard never allocates.
-type bitset []uint64
+// Receiver-set flags. One rxEntry per touched receiver replaces the three
+// field-sized bitsets transmissions used to carry: per-transmission memory
+// and the per-frame reset walk are now bounded by radio degree, not by the
+// population, which is what keeps constant-density scale rungs flat in N.
+const (
+	// rxHeard marks a receiver the frame was actually put in front of (on
+	// and in range at airtime start); cleared as end-of-airtime consumes the
+	// reception.
+	rxHeard uint8 = 1 << iota
+	// rxCorrupted marks a reception lost to frame overlap or a half-duplex
+	// receiver that was itself transmitting.
+	rxCorrupted
+	// rxLost marks a reception vetoed by the installed LinkFilter.
+	rxLost
+)
 
-func (b bitset) has(id topology.NodeID) bool { return b[uint(id)>>6]&(1<<(uint(id)&63)) != 0 }
-func (b bitset) set(id topology.NodeID)      { b[uint(id)>>6] |= 1 << (uint(id) & 63) }
-func (b bitset) clear(id topology.NodeID)    { b[uint(id)>>6] &^= 1 << (uint(id) & 63) }
-func (b bitset) clearAll() {
-	for i := range b {
-		b[i] = 0
+// rxEntry records one receiver a transmission touched and the fate of its
+// reception.
+type rxEntry struct {
+	id    topology.NodeID
+	flags uint8
+}
+
+// rxSet is a transmission's receiver set: entries kept sorted ascending by
+// node ID (insertion-sorted on a degree-bounded slice, so the residual
+// mobility sweep in end() walks IDs in exactly the order the old bitset
+// iteration produced). The backing array is retained across pool reuse, so
+// recording a receiver allocates only while the list grows toward the
+// field's maximum degree.
+type rxSet []rxEntry
+
+// find returns the index of id, or -1.
+func (s rxSet) find(id topology.NodeID) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
+	if lo < len(s) && s[lo].id == id {
+		return lo
+	}
+	return -1
+}
+
+// ensure returns the entry for id, inserting a zero-flag one in sorted
+// position if absent. The pointer is valid only until the next insert.
+func (s *rxSet) ensure(id topology.NodeID) *rxEntry {
+	t := *s
+	i := len(t)
+	for i > 0 && t[i-1].id > id {
+		i--
+	}
+	if i > 0 && t[i-1].id == id {
+		return &t[i-1]
+	}
+	t = append(t, rxEntry{})
+	copy(t[i+1:], t[i:])
+	t[i] = rxEntry{id: id}
+	*s = t
+	return &t[i]
+}
+
+// has reports whether id's entry exists and carries flag.
+func (s rxSet) has(id topology.NodeID, flag uint8) bool {
+	i := s.find(id)
+	return i >= 0 && s[i].flags&flag != 0
+}
+
+// set ors flag into id's entry, inserting it if absent.
+func (s *rxSet) set(id topology.NodeID, flag uint8) {
+	s.ensure(id).flags |= flag
 }
 
 // Network simulates the shared medium for all nodes of a field.
@@ -244,8 +309,13 @@ type Network struct {
 	params  Params
 	model   energy.Model
 	rng     *rand.Rand
-	energy  []*energy.Meter
-	nodes   []*nodeState
+	// energy and nodes are struct-of-arrays slabs: one contiguous value
+	// slice each, allocated once at field size and never grown, so interior
+	// pointers (&n.nodes[i] captured by senseFn closures and transmission
+	// owner/peer fields, &n.energy[i] returned by Meter) stay valid for the
+	// network's lifetime while per-node overhead drops to zero pointers.
+	energy  []energy.Meter
+	nodes   []nodeState
 	stats   Stats
 	filter  LinkFilter
 	drop    DropHook
@@ -255,7 +325,6 @@ type Network struct {
 	txFree    []*transmission
 	frameFree []*outFrame
 	callFree  []*pendingCall
-	txWords   int // bitset words per transmission, fixed by field size
 }
 
 type nodeState struct {
@@ -291,28 +360,26 @@ const (
 	txCTS
 )
 
-// transmission is one frame in flight. Transmissions are pooled: the
-// corrupted and lost bitsets keep their backing arrays across reuse, and the
-// record doubles as the sim.Runner fired at end of airtime, so putting a
-// frame on the air schedules its completion without a closure.
+// transmission is one frame in flight. Transmissions are pooled: the recv
+// receiver set keeps its backing array across reuse, and the record doubles
+// as the sim.Runner fired at end of airtime, so putting a frame on the air
+// schedules its completion without a closure.
 type transmission struct {
-	net       *Network
-	from      topology.NodeID
-	to        topology.NodeID // Broadcast or unicast destination
-	frame     Frame
-	kind      txKind
-	nav       time.Duration // medium reservation advertised by RTS/CTS
-	corrupted bitset
-	lost      bitset // receptions vetoed by the link filter
+	net   *Network
+	from  topology.NodeID
+	to    topology.NodeID // Broadcast or unicast destination
+	frame Frame
+	kind  txKind
+	nav   time.Duration // medium reservation advertised by RTS/CTS
 
-	// heard records the receivers this frame was actually put in front of
-	// (on and in range at airtime start). End-of-airtime iterates this set
-	// rather than the live neighbor set, so a node moving during the
-	// frame's airtime cannot strand an audible entry or conjure a reception
-	// it never started. Ascending-bit iteration reproduces the sorted
-	// neighbor-scan order exactly; like corrupted and lost, the set is
-	// sized once to the field so recording a receiver never allocates.
-	heard bitset
+	// recv is the receiver set: one entry per node this frame touched,
+	// sorted ascending by ID. rxHeard entries are the receivers the frame
+	// was actually put in front of (on and in range at airtime start);
+	// end-of-airtime consumes those entries rather than the live neighbor
+	// set, so a node moving during the frame's airtime cannot strand an
+	// audible entry or conjure a reception it never started. rxCorrupted
+	// and rxLost record overlap and link-filter fates for the same IDs.
+	recv rxSet
 
 	// Completion context, interpreted per kind: owner is the transmitting
 	// node, peer the unicast counterpart an ACK/CTS answers, of the queued
@@ -322,8 +389,12 @@ type transmission struct {
 	of    *outFrame
 }
 
+// corruptedAt reports whether this frame's reception at id overlapped another
+// frame or hit a half-duplex receiver.
+func (tx *transmission) corruptedAt(id topology.NodeID) bool { return tx.recv.has(id, rxCorrupted) }
+
 // lostAt reports whether the link filter vetoed this frame's reception at id.
-func (tx *transmission) lostAt(id topology.NodeID) bool { return tx.lost.has(id) }
+func (tx *transmission) lostAt(id topology.NodeID) bool { return tx.recv.has(id, rxLost) }
 
 // Run fires at end of airtime: clear the channel, deliver survivors, then
 // continue the exchange the frame belongs to.
@@ -407,21 +478,22 @@ func New(kernel *sim.Kernel, field *topology.Field, model energy.Model, params P
 		return nil, err
 	}
 	n := &Network{
-		kernel:  kernel,
-		field:   field,
-		params:  params,
-		model:   model,
-		rng:     kernel.Rand(),
-		energy:  make([]*energy.Meter, field.Len()),
-		nodes:   make([]*nodeState, field.Len()),
-		txWords: (field.Len() + 63) / 64,
+		kernel: kernel,
+		field:  field,
+		params: params,
+		model:  model,
+		rng:    kernel.Rand(),
+		energy: make([]energy.Meter, field.Len()),
+		nodes:  make([]nodeState, field.Len()),
 	}
 	n.stats.Drops = make(map[DropReason]int)
 	for i := range n.nodes {
-		n.energy[i] = energy.NewMeter(model)
-		ns := &nodeState{id: topology.NodeID(i), on: true, cw: params.CWMin}
+		n.energy[i] = *energy.NewMeter(model)
+		ns := &n.nodes[i]
+		ns.id = topology.NodeID(i)
+		ns.on = true
+		ns.cw = params.CWMin
 		ns.senseFn = func() { n.senseAndSend(ns) }
-		n.nodes[i] = ns
 	}
 	return n, nil
 }
@@ -434,12 +506,7 @@ func (n *Network) allocTx(kind txKind, owner *nodeState, to topology.NodeID, f F
 		tx = n.txFree[k-1]
 		n.txFree = n.txFree[:k-1]
 	} else {
-		tx = &transmission{
-			net:       n,
-			corrupted: make(bitset, n.txWords),
-			lost:      make(bitset, n.txWords),
-			heard:     make(bitset, n.txWords),
-		}
+		tx = &transmission{net: n}
 	}
 	tx.kind = kind
 	tx.owner = owner
@@ -453,9 +520,7 @@ func (n *Network) allocTx(kind txKind, owner *nodeState, to topology.NodeID, f F
 // completion step ran; nothing may hold the record past that point (end()
 // removed it from every audible set, and off nodes clear theirs wholesale).
 func (n *Network) releaseTx(tx *transmission) {
-	tx.corrupted.clearAll()
-	tx.lost.clearAll()
-	tx.heard.clearAll()
+	tx.recv = tx.recv[:0]
 	tx.frame = Frame{}
 	tx.nav = 0
 	tx.owner, tx.peer, tx.of = nil, nil, nil
@@ -523,7 +588,7 @@ func (n *Network) reportDrop(tx *transmission, nb topology.NodeID, reason RxDrop
 }
 
 // Meter returns node id's energy meter.
-func (n *Network) Meter(id topology.NodeID) *energy.Meter { return n.energy[id] }
+func (n *Network) Meter(id topology.NodeID) *energy.Meter { return &n.energy[id] }
 
 // Stats returns a snapshot of the link-layer counters.
 func (n *Network) Stats() Stats {
@@ -542,7 +607,7 @@ func (n *Network) On(id topology.NodeID) bool { return n.nodes[id].on }
 // frame it is mid-receiving; energy up-time accounting is the caller's
 // concern (see failure.Schedule).
 func (n *Network) SetOn(id topology.NodeID, on bool) {
-	ns := n.nodes[id]
+	ns := &n.nodes[id]
 	if ns.on == on {
 		return
 	}
@@ -576,7 +641,7 @@ func (n *Network) Unicast(from, to topology.NodeID, f Frame) error {
 }
 
 func (n *Network) enqueue(from, to topology.NodeID, f Frame) error {
-	ns := n.nodes[from]
+	ns := &n.nodes[from]
 	if !ns.on {
 		n.stats.Drops[DropNodeOff]++
 		return fmt.Errorf("mac: node %d is off", from)
@@ -698,8 +763,8 @@ func (n *Network) finishRTS(rts *transmission) {
 	if !ns.on {
 		return
 	}
-	dest := n.nodes[of.to]
-	if dest.on && n.field.InRange(ns.id, of.to) && !rts.corrupted.has(of.to) && !rts.lostAt(of.to) {
+	dest := &n.nodes[of.to]
+	if dest.on && n.field.InRange(ns.id, of.to) && !rts.corruptedAt(of.to) && !rts.lostAt(of.to) {
 		n.call(n.params.SIFS, opSendCTS, dest, ns, of)
 		return
 	}
@@ -732,7 +797,7 @@ func (n *Network) finishCTS(cts *transmission) {
 	if !src.on {
 		return
 	}
-	if dest.on && n.field.InRange(dest.id, src.id) && !cts.corrupted.has(src.id) && !cts.lostAt(src.id) {
+	if dest.on && n.field.InRange(dest.id, src.id) && !cts.corruptedAt(src.id) && !cts.lostAt(src.id) {
 		n.call(n.params.SIFS, opDataAfterCTS, src, nil, of)
 		return
 	}
@@ -744,15 +809,18 @@ func (n *Network) finishCTS(cts *transmission) {
 // the end-of-airtime event.
 func (n *Network) begin(ns *nodeState, tx *transmission, airtime time.Duration) {
 	ns.txActive = true
-	// Half-duplex: anything the sender was hearing is lost to it.
+	// Half-duplex: anything the sender was hearing is lost to it. The
+	// sender is already in each audible frame's receiver set (audible ⟺
+	// recorded heard at that frame's start), so ensure never grows here.
 	for _, other := range ns.audible {
-		if !other.corrupted.has(ns.id) {
-			other.corrupted.set(ns.id)
+		oe := other.recv.ensure(ns.id)
+		if oe.flags&rxCorrupted == 0 {
+			oe.flags |= rxCorrupted
 			n.stats.Collisions++
 		}
 	}
 	for _, nb := range n.field.Neighbors(ns.id) {
-		rs := n.nodes[nb]
+		rs := &n.nodes[nb]
 		if !rs.on {
 			if n.drop != nil {
 				n.reportDrop(tx, nb, RxReceiverOff)
@@ -761,30 +829,32 @@ func (n *Network) begin(ns *nodeState, tx *transmission, airtime time.Duration) 
 		}
 		// The receiver's radio is captured for the airtime either way.
 		n.energy[nb].Receive(tx.frame.Bytes)
+		e := tx.recv.ensure(nb)
 		if n.filter != nil && !n.filter(ns.id, nb) {
-			tx.lost.set(nb)
+			e.flags |= rxLost
 			n.stats.LinkLoss++
 		}
 		if rs.txActive {
-			tx.corrupted.set(nb)
+			e.flags |= rxCorrupted
 			n.stats.Collisions++
 		}
 		if len(rs.audible) > 0 {
 			// Overlap: this frame and everything already audible at nb are
 			// corrupted at nb.
-			if !tx.corrupted.has(nb) {
-				tx.corrupted.set(nb)
+			if e.flags&rxCorrupted == 0 {
+				e.flags |= rxCorrupted
 				n.stats.Collisions++
 			}
 			for _, other := range rs.audible {
-				if !other.corrupted.has(nb) {
-					other.corrupted.set(nb)
+				oe := other.recv.ensure(nb)
+				if oe.flags&rxCorrupted == 0 {
+					oe.flags |= rxCorrupted
 					n.stats.Collisions++
 				}
 			}
 		}
 		rs.audible = append(rs.audible, tx)
-		tx.heard.set(nb)
+		e.flags |= rxHeard
 	}
 	n.kernel.ScheduleRunner(airtime, tx)
 }
@@ -793,25 +863,25 @@ func (n *Network) begin(ns *nodeState, tx *transmission, airtime time.Duration) 
 // survived — exactly the receivers recorded heard at airtime start: under
 // mobility the live neighbor set can differ by the time the airtime ends,
 // and only nodes that heard the frame start can finish receiving it. The
-// walk keeps the begin()-time scan order: live neighbors first (clearing
-// their heard bits), then any receivers that moved out of range mid-frame
-// in a residual ascending-ID sweep — empty on a static field, so static
-// runs finish receptions in the exact pre-mobility order.
+// walk keeps the begin()-time scan order: live neighbors first (consuming
+// their heard flags), then any receivers that moved out of range mid-frame
+// in a residual ascending-ID sweep over the receiver set — empty on a
+// static field, so static runs finish receptions in the exact pre-mobility
+// order. Nothing inside finishReception can insert into tx.recv (no begin()
+// runs reentrantly; contention and handshake steps are scheduled, not
+// called), so the indices below stay valid across delivery callbacks.
 func (n *Network) end(tx *transmission) {
 	senderDied := !n.nodes[tx.from].on // died mid-frame: nothing decodable
 	for _, nb := range n.field.Neighbors(tx.from) {
-		if tx.heard.has(nb) {
-			tx.heard.clear(nb)
+		if i := tx.recv.find(nb); i >= 0 && tx.recv[i].flags&rxHeard != 0 {
+			tx.recv[i].flags &^= rxHeard
 			n.finishReception(tx, nb, senderDied)
 		}
 	}
-	for w, word := range tx.heard {
-		base := topology.NodeID(w * 64)
-		for word != 0 {
-			nb := base + topology.NodeID(bits.TrailingZeros64(word))
-			word &= word - 1 // consume lowest set bit
-			tx.heard.clear(nb)
-			n.finishReception(tx, nb, senderDied)
+	for i := range tx.recv {
+		if tx.recv[i].flags&rxHeard != 0 {
+			tx.recv[i].flags &^= rxHeard
+			n.finishReception(tx, tx.recv[i].id, senderDied)
 		}
 	}
 }
@@ -820,7 +890,7 @@ func (n *Network) end(tx *transmission) {
 // detach it from the audible set, classify losses, apply NAV for
 // handshakes, and deliver surviving payloads.
 func (n *Network) finishReception(tx *transmission, nb topology.NodeID, senderDied bool) {
-	rs := n.nodes[nb]
+	rs := &n.nodes[nb]
 	idx := -1
 	for i, a := range rs.audible {
 		if a == tx {
@@ -832,7 +902,7 @@ func (n *Network) finishReception(tx *transmission, nb topology.NodeID, senderDi
 		return // receiver turned off since tx started (audible cleared)
 	}
 	rs.audible = append(rs.audible[:idx], rs.audible[idx+1:]...)
-	if !rs.on || senderDied || tx.corrupted.has(nb) || tx.lostAt(nb) {
+	if !rs.on || senderDied || tx.corruptedAt(nb) || tx.lostAt(nb) {
 		// Classify the loss only when someone is listening; the reason
 		// switch is pure observability.
 		if n.drop != nil {
@@ -842,7 +912,7 @@ func (n *Network) finishReception(tx *transmission, nb topology.NodeID, senderDi
 				reason = RxReceiverOff
 			case senderDied:
 				reason = RxSenderOff
-			case tx.corrupted.has(nb):
+			case tx.corruptedAt(nb):
 				reason = RxCollision
 			}
 			n.reportDrop(tx, nb, reason)
@@ -883,8 +953,8 @@ func (n *Network) finishData(tx *transmission) {
 		return
 	}
 	// Unicast: did the destination get it?
-	dest := n.nodes[of.to]
-	gotIt := dest.on && n.field.InRange(ns.id, of.to) && !tx.corrupted.has(of.to) && !tx.lostAt(of.to)
+	dest := &n.nodes[of.to]
+	gotIt := dest.on && n.field.InRange(ns.id, of.to) && !tx.corruptedAt(of.to) && !tx.lostAt(of.to)
 	if gotIt {
 		// Destination sends an ACK after SIFS, bypassing contention.
 		n.call(n.params.SIFS, opSendAck, dest, ns, of)
@@ -918,7 +988,7 @@ func (n *Network) finishAck(ack *transmission) {
 	if !src.on {
 		return
 	}
-	if dest.on && n.field.InRange(dest.id, src.id) && !ack.corrupted.has(src.id) && !ack.lostAt(src.id) {
+	if dest.on && n.field.InRange(dest.id, src.id) && !ack.corruptedAt(src.id) && !ack.lostAt(src.id) {
 		// ACK received: success.
 		src.cw = n.params.CWMin
 		if n.outcome != nil {

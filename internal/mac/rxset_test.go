@@ -1,0 +1,175 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestRxSetSortedInsertAndFlags(t *testing.T) {
+	// Randomized cross-check against a map oracle: after any insert order
+	// the set stays sorted ascending, ensure is idempotent, and has() sees
+	// exactly the flags set().
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var s rxSet
+		oracle := map[topology.NodeID]uint8{}
+		for op := 0; op < 200; op++ {
+			id := topology.NodeID(rng.Intn(64))
+			flag := uint8(1) << uint(rng.Intn(3))
+			s.set(id, flag)
+			oracle[id] |= flag
+		}
+		if len(s) != len(oracle) {
+			t.Fatalf("trial %d: %d entries, oracle has %d", trial, len(s), len(oracle))
+		}
+		for i := range s {
+			if i > 0 && s[i-1].id >= s[i].id {
+				t.Fatalf("trial %d: not strictly ascending at %d: %v", trial, i, s)
+			}
+			if s[i].flags != oracle[s[i].id] {
+				t.Fatalf("trial %d: node %d flags %b, oracle %b",
+					trial, s[i].id, s[i].flags, oracle[s[i].id])
+			}
+		}
+		for id, want := range oracle {
+			for _, flag := range []uint8{rxHeard, rxCorrupted, rxLost} {
+				if got := s.has(id, flag); got != (want&flag != 0) {
+					t.Fatalf("trial %d: has(%d, %b) = %v, oracle %b", trial, id, flag, got, want)
+				}
+			}
+		}
+		if s.find(topology.NodeID(99)) != -1 {
+			t.Fatal("find reported an entry never inserted")
+		}
+	}
+}
+
+// clusterNet builds a field with an 8-node cluster (everyone in range of
+// everyone) plus `padding` far-away isolated nodes that only inflate the
+// field size.
+func clusterNet(t *testing.T, padding int) (*sim.Kernel, *Network) {
+	t.Helper()
+	var pts []geom.Point
+	for i := 0; i < 8; i++ {
+		pts = append(pts, geom.Point{X: float64(i) * 4, Y: 0})
+	}
+	for i := 0; i < padding; i++ {
+		// One isolated node per far row: out of range of the cluster and of
+		// each other, so the degree everywhere stays fixed as N grows.
+		pts = append(pts, geom.Point{X: 900, Y: 200 + float64(i)*90})
+	}
+	f, err := topology.FromPositions(geom.Square(0, 0, 100000), 40, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(7)
+	n, err := New(k, f, energy.PaperModel(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, n
+}
+
+func TestTransmissionFootprintDegreeBounded(t *testing.T) {
+	// The pooled transmission's receiver set must size with radio degree,
+	// not field size: the same 8-node cluster embedded in a 16-node and a
+	// 64-node field must leave identical per-transmission capacity behind.
+	footprint := func(padding int) int {
+		k, n := clusterNet(t, padding)
+		for i := 0; i < 8; i++ {
+			if err := n.Broadcast(topology.NodeID(i), Frame{Bytes: 64, Payload: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k.Run(5 * time.Second)
+		if len(n.txFree) == 0 {
+			t.Fatal("no pooled transmissions after the run")
+		}
+		max := 0
+		for _, tx := range n.txFree {
+			if len(tx.recv) != 0 {
+				t.Fatalf("pooled transmission retains %d receiver entries", len(tx.recv))
+			}
+			if c := cap(tx.recv); c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	small, large := footprint(8), footprint(56)
+	if small != large {
+		t.Fatalf("per-transmission receiver capacity grew with field size: %d entries at 16 nodes, %d at 64", small, large)
+	}
+	if small == 0 || small > 8 {
+		t.Fatalf("receiver capacity %d, want within the cluster degree (1..8)", small)
+	}
+}
+
+func TestReceiverSetMatchesInRangeOracle(t *testing.T) {
+	// Mobility churn with one frame in flight at a time: every broadcast
+	// must deliver to exactly the brute-force InRange set snapshotted
+	// before the frame goes on air — including when a third node moves
+	// mid-airtime (the receiver set was pinned at airtime start).
+	const nodes = 30
+	rng := rand.New(rand.NewSource(99))
+	var pts []geom.Point
+	for i := 0; i < nodes; i++ {
+		pts = append(pts, geom.Point{X: rng.Float64() * 200, Y: rng.Float64() * 200})
+	}
+	f, err := topology.FromPositions(geom.Square(0, 0, 200), 40, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(11)
+	n, err := New(k, f, energy.PaperModel(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]capture, nodes)
+	for i := 0; i < nodes; i++ {
+		n.SetReceiver(topology.NodeID(i), caps[i].receiver(k))
+	}
+	for iter := 0; iter < 60; iter++ {
+		// Shuffle somebody, then snapshot the oracle before transmitting.
+		mover := topology.NodeID(rng.Intn(nodes))
+		n.field.MoveNode(mover, geom.Point{X: rng.Float64() * 200, Y: rng.Float64() * 200})
+		src := topology.NodeID(rng.Intn(nodes))
+		oracle := map[topology.NodeID]bool{}
+		for j := 0; j < nodes; j++ {
+			id := topology.NodeID(j)
+			if id != src && n.field.InRange(src, id) {
+				oracle[id] = true
+			}
+		}
+		before := make([]int, nodes)
+		for i := range caps {
+			before[i] = len(caps[i].from)
+		}
+		if err := n.Broadcast(src, Frame{Bytes: 64, Payload: iter}); err != nil {
+			t.Fatal(err)
+		}
+		stepUntilOnAir(t, k, n, int(src))
+		// A mid-airtime move must not change this frame's receiver set.
+		if late := topology.NodeID(rng.Intn(nodes)); late != src {
+			n.field.MoveNode(late, geom.Point{X: rng.Float64() * 200, Y: rng.Float64() * 200})
+		}
+		k.Run(k.Now() + time.Second) // horizon is absolute: drain this frame
+		for j := 0; j < nodes; j++ {
+			got := len(caps[j].from) - before[j]
+			want := 0
+			if oracle[topology.NodeID(j)] {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("iter %d: node %d received %d copies of src %d's frame, oracle says %d",
+					iter, j, got, src, want)
+			}
+		}
+	}
+}

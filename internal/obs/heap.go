@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// heapSampleNames are the runtime/metrics classes whose sum is the heap's
+// in-use footprint: bytes in live+dead objects plus the unused tail of spans
+// holding them (the runtime/metrics equivalent of MemStats.HeapInuse).
+var heapSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/heap/unused:bytes",
+}
+
+// HeapFootprintBytes reports the process's current in-use heap. Unlike
+// PeakMemoryBytes (MemStats.Sys, which only ever grows as the runtime
+// retains OS mappings) this reading falls again when memory is freed, so
+// sequential workloads of different sizes can each be attributed an honest
+// footprint — call SettleHeap first to drop garbage from the previous
+// workload out of the reading.
+func HeapFootprintBytes() uint64 {
+	samples := make([]metrics.Sample, len(heapSampleNames))
+	for i, name := range heapSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	var total uint64
+	for _, s := range samples {
+		if s.Value.Kind() != metrics.KindUint64 {
+			// Metric missing on this runtime version: fall back to MemStats.
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapInuse
+		}
+		total += s.Value.Uint64()
+	}
+	return total
+}
+
+// SettleHeap runs a full garbage collection so the next HeapFootprintBytes
+// reading reflects live data rather than garbage awaiting collection.
+// Collection does not touch simulation state or RNG streams, so settling
+// between runs never perturbs determinism.
+func SettleHeap() { runtime.GC() }

@@ -1,0 +1,30 @@
+package obs
+
+import "testing"
+
+var heapSink []byte
+
+func TestHeapFootprintTracksLiveData(t *testing.T) {
+	SettleHeap()
+	base := HeapFootprintBytes()
+	if base == 0 {
+		t.Fatal("zero heap footprint")
+	}
+	const block = 64 << 20
+	heapSink = make([]byte, block)
+	for i := range heapSink {
+		heapSink[i] = byte(i)
+	}
+	grown := HeapFootprintBytes()
+	if grown < base+block/2 {
+		t.Fatalf("footprint did not grow with a %d MB live block: %d -> %d", block>>20, base, grown)
+	}
+	heapSink = nil
+	SettleHeap()
+	settled := HeapFootprintBytes()
+	// The reading must fall once the block is garbage — the non-monotonic
+	// property the scale figure's per-rung column depends on.
+	if settled > grown-block/2 {
+		t.Fatalf("footprint did not fall after SettleHeap: %d -> %d", grown, settled)
+	}
+}

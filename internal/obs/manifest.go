@@ -44,6 +44,10 @@ type Manifest struct {
 	KernelEvents uint64  `json:"kernel_events"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	PeakMemBytes uint64  `json:"peak_mem_bytes"`
+	// BytesPerNode, filled only by the scale figure, is each rung's peak
+	// in-use heap divided by its node count (max across schemes), aligned
+	// with Xs — the per-node footprint the SoA layout work is gated on.
+	BytesPerNode []uint64 `json:"bytes_per_node,omitempty"`
 
 	// TelemetryDigest fingerprints Metrics (the merged registry snapshot);
 	// both are empty when the sweep ran without telemetry.
