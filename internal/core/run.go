@@ -183,6 +183,17 @@ type Config struct {
 	// reading of the energy metric, §3's traffic-concentration concern made
 	// operational. Protected endpoints never die.
 	BatteryJ float64
+
+	// Shards, when > 1, runs the simulation on the conservative sharded
+	// parallel kernel: the field splits into that many vertical strips (each
+	// at least one radio range wide — the count is clamped to what the
+	// geometry supports), one kernel and goroutine per strip, synchronized
+	// through lookahead windows. Output is deterministic per (Seed, Shards)
+	// but a sharded run is a different (equally valid) event interleaving
+	// than the serial one. 0 and 1 take the serial path, bit for bit. Sharded
+	// runs accept a restricted feature envelope; see Output.Shards and
+	// DESIGN.md §8.
+	Shards int
 }
 
 // DefaultConfig returns the paper's §5.1 methodology: a 200 m field, 40 m
@@ -231,6 +242,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: negative flight capacity %d", c.FlightCapacity)
 	case c.FlightCapacity > 0 && c.FlightPath == "":
 		return fmt.Errorf("core: FlightCapacity set without FlightPath")
+	case c.Shards < 0:
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
+	}
+	if c.Shards > 1 {
+		if err := c.validateSharded(); err != nil {
+			return err
+		}
 	}
 	if err := c.Workload.Validate(); err != nil {
 		return err
@@ -302,6 +320,9 @@ type Output struct {
 	Flight *FlightReport
 	// Kernel reports event-loop throughput; always filled.
 	Kernel KernelStats
+	// Shards reports the parallel kernel's window machinery when
+	// Config.Shards > 1; nil on serial runs.
+	Shards *ShardStats
 	// Telemetry is the metrics-registry snapshot when Config.Telemetry is
 	// set; nil otherwise.
 	Telemetry []obs.Metric
@@ -353,6 +374,9 @@ type Lifetime struct {
 func Run(cfg Config) (Output, error) {
 	if err := cfg.Validate(); err != nil {
 		return Output{}, err
+	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
 	}
 	wallStart := time.Now()
 	var reg *obs.Registry

@@ -1,0 +1,476 @@
+// Sharded parallel execution of one run: K spatial strips, K kernels, one
+// conservative ShardGroup. Run dispatches here when Config.Shards > 1.
+//
+// Every shard owns the nodes of one vertical strip (at least one radio range
+// wide, so only adjacent strips talk) and holds a private clone of the whole
+// field. The MAC hands frames across strip borders as end-of-airtime mails,
+// the mobility layer mails position updates, and everything else — protocol
+// state, timers, RNG — is shard-local. The observer is the only shared
+// object; a mutex plus the conservative barrier's happens-before makes the
+// collector's generated-before-delivered bookkeeping exact.
+//
+// The contract (DESIGN.md §8): byte-identical output for a fixed
+// (seed, shard count); shards=1 never reaches this file, so every existing
+// golden is untouched. Sharded runs accept a restricted envelope — the
+// steady-state perf configurations (mobility and repair included) — and
+// reject layers whose semantics are inherently global (failure waves, chaos,
+// churn, batteries, tracing, flight recording, snapshots, RTS/CTS).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ShardStats reports what the sharded kernel's window machinery did during a
+// run. Always filled (like KernelStats) when Config.Shards > 1.
+type ShardStats struct {
+	// Requested is Config.Shards as asked; Shards the effective count after
+	// clamping to the field's strip-width maximum.
+	Requested int
+	Shards    int
+	// Delta is the conservative lookahead (the smallest frame's airtime).
+	Delta time.Duration
+	// Windows, Mails, MailboxHighWater and Clamped mirror sim.GroupStats.
+	Windows          uint64
+	Mails            uint64
+	MailboxHighWater int
+	Clamped          uint64
+	// Events, Busy and Stall are per shard: events fired, wall time spent
+	// executing them, and wall time lost at barriers (group wall − busy).
+	Events []uint64
+	Busy   []time.Duration
+	Stall  []time.Duration
+	// Wall is the group's wall-clock time inside Run.
+	Wall time.Duration
+}
+
+// validateSharded rejects configurations outside the sharded envelope.
+func (c Config) validateSharded() error {
+	switch {
+	case c.Scheme.Idealized():
+		return fmt.Errorf("core: scheme %v does not support sharded runs", c.Scheme)
+	case c.Failures != nil:
+		return fmt.Errorf("core: failure waves are not supported on sharded runs")
+	case c.Chaos != nil:
+		return fmt.Errorf("core: chaos injection is not supported on sharded runs")
+	case c.Churn.Enabled():
+		return fmt.Errorf("core: churn is not supported on sharded runs")
+	case c.BatteryJ > 0:
+		return fmt.Errorf("core: battery budgets are not supported on sharded runs")
+	case c.Tracer != nil:
+		return fmt.Errorf("core: tracing is not supported on sharded runs")
+	case c.FlightPath != "":
+		return fmt.Errorf("core: the flight recorder is not supported on sharded runs")
+	case c.MAC.UseRTSCTS:
+		return fmt.Errorf("core: RTS/CTS is not supported on sharded runs")
+	case c.Telemetry != nil && c.Telemetry.SnapshotEvery > 0:
+		return fmt.Errorf("core: protocol snapshots are not supported on sharded runs")
+	}
+	return nil
+}
+
+// lockedObserver adapts the shared collector to one shard: every call takes
+// the group-wide mutex and points the collector's clock at this shard's
+// kernel before delegating. The conservative barrier guarantees a
+// cross-shard delivery runs in a strictly later window than its generation
+// (delivery time ≥ generation + delta ≥ window end), so the collector's
+// generated-set check never races ahead of the truth.
+type lockedObserver struct {
+	mu        *sync.Mutex
+	collector *metrics.Collector
+	clock     func() time.Duration
+}
+
+// Generated implements diffusion.Observer.
+func (o lockedObserver) Generated(src topology.NodeID, item msg.Item) {
+	o.mu.Lock()
+	o.collector.Clock = o.clock
+	o.collector.Generated(src, item)
+	o.mu.Unlock()
+}
+
+// Delivered implements diffusion.Observer.
+func (o lockedObserver) Delivered(sink topology.NodeID, item msg.Item, delay time.Duration) {
+	o.mu.Lock()
+	o.collector.Clock = o.clock
+	o.collector.Delivered(sink, item, delay)
+	o.mu.Unlock()
+}
+
+// nodeMoved is the mobility position mail: the owning shard moved a node, so
+// every other shard updates its field clone. It takes effect one lookahead
+// after the epoch, the soonest a conservative mail can land.
+type nodeMoved struct {
+	id topology.NodeID
+	to geom.Point
+}
+
+// shardStack is one shard's full substrate: field clone, MAC, runtime, and
+// (when telemetry is on) a private registry merged into the user's at the
+// end.
+type shardStack struct {
+	shard *sim.Shard
+	field *topology.Field
+	net   *mac.Network
+	rt    *diffusion.Runtime
+	reg   *obs.Registry
+	mover *topology.Mover
+}
+
+// runSharded executes one run on the conservative parallel kernel.
+func runSharded(cfg Config) (Output, error) {
+	if err := cfg.validateSharded(); err != nil {
+		return Output{}, err
+	}
+	wallStart := time.Now()
+
+	// Placement reproduces the serial path bit for bit: the serial kernel's
+	// RNG is seeded with cfg.Seed and placement is its first consumer, so a
+	// fresh source seeded the same way draws the identical field and roles.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	area := geom.Square(0, 0, cfg.FieldSide)
+	var (
+		field  *topology.Field
+		assign workload.Assignment
+		err    error
+	)
+	for try := 0; ; try++ {
+		field, err = topology.Generate(topology.Config{
+			Area: area, Nodes: cfg.Nodes, Range: cfg.Range,
+		}, rng)
+		if err != nil {
+			return Output{}, err
+		}
+		assign, err = workload.Place(field, cfg.Workload, rng)
+		if err == nil {
+			break
+		}
+		if try+1 >= cfg.MaxPlacementTries {
+			return Output{}, fmt.Errorf("core: no usable placement after %d tries: %w",
+				cfg.MaxPlacementTries, err)
+		}
+	}
+
+	// Clamp the shard count to what the geometry supports: strips narrower
+	// than a radio range would let frames skip a shard, breaking the
+	// adjacent-strip lookahead bound.
+	k := cfg.Shards
+	if max := topology.MaxShards(field); k > max {
+		k = max
+	}
+	if k > 255 {
+		k = 255
+	}
+	owner, err := topology.ShardStrips(field, k)
+	if err != nil {
+		return Output{}, err
+	}
+
+	delta := mac.MinFrameAirtime(cfg.Energy, cfg.MAC)
+	group := sim.NewShardGroup(cfg.Seed, k, delta)
+
+	var mu sync.Mutex
+	collector := metrics.NewCollector(0, cfg.Duration-cfg.DrainTail, group.Shard(0).Kernel().Now)
+
+	strategy, err := cfg.Scheme.Strategy()
+	if err != nil {
+		return Output{}, err
+	}
+	roles := diffusion.Roles{Sinks: assign.Sinks, Sources: assign.Sources}
+
+	var reg *obs.Registry
+	if cfg.Telemetry != nil {
+		if reg = cfg.Telemetry.Registry; reg == nil {
+			reg = obs.NewRegistry()
+		}
+	}
+
+	stacks := make([]*shardStack, k)
+	for i := 0; i < k; i++ {
+		st := &shardStack{shard: group.Shard(i), field: field}
+		if i > 0 {
+			st.field = field.Clone()
+		}
+		st.net, err = mac.NewSharded(st.shard, st.field, cfg.Energy, cfg.MAC, owner)
+		if err != nil {
+			return Output{}, err
+		}
+		self := uint8(i)
+		owned := func(id topology.NodeID) bool { return owner[id] == self }
+		observer := lockedObserver{mu: &mu, collector: collector, clock: st.shard.Kernel().Now}
+		st.rt, err = diffusion.NewOwned(st.shard.Kernel(), st.net, st.field, cfg.Diffusion,
+			strategy, roles, observer, owned)
+		if err != nil {
+			return Output{}, err
+		}
+		if reg != nil {
+			st.reg = obs.NewRegistry()
+			st.rt.SetInstruments(diffusion.NewInstruments(st.reg, cfg.Scheme.String()))
+			installDropHook(st.net, st.shard.Kernel(), nil, st.reg, cfg.Scheme.String())
+		}
+		net, fld := st.net, st.field
+		st.shard.SetMailHandler(func(m sim.Mail) {
+			switch d := m.Data.(type) {
+			case mac.RemoteRx:
+				net.DeliverRemote(d)
+			case nodeMoved:
+				fld.MoveNode(d.id, d.to)
+			default:
+				panic(fmt.Sprintf("core: unexpected shard mail %T", m.Data))
+			}
+		})
+		if cfg.Mobility.Enabled() {
+			pinned := append([]topology.NodeID(nil), assign.Sinks...)
+			if cfg.Mobility.MobileSinks {
+				pinned = nil
+			}
+			st.mover, err = topology.NewMover(st.field, cfg.Mobility, pinned)
+			if err != nil {
+				return Output{}, err
+			}
+			st.mover.Restrict(owned)
+			scheduleShardMobility(cfg.Mobility.Epoch, st, group, owner, self)
+		}
+		stacks[i] = st
+	}
+
+	for _, st := range stacks {
+		st.rt.Start()
+	}
+	group.Run(cfg.Duration)
+
+	// Every energy charge for a node lands on its owner's meter (the border
+	// handoff moves crossing receptions there), so read each node from its
+	// owner. Sharded runs have no failure schedule; close the idle
+	// accounting by hand, exactly what a zero-failure schedule's Finish does.
+	var totalJ, commJ float64
+	perNodeComm := make([]float64, field.Len())
+	for i := range owner {
+		m := stacks[owner[i]].net.Meter(topology.NodeID(i))
+		m.AddUpTime(cfg.Duration)
+		totalJ += m.TotalJoules()
+		commJ += m.CommJoules()
+		perNodeComm[i] = m.CommJoules()
+	}
+
+	result, err := collector.Finalize(cfg.Scheme.String(), field.Len(), field.MeanDegree(),
+		len(assign.Sinks), totalJ, commJ)
+	if err != nil {
+		return Output{}, err
+	}
+	result.Concentration = metrics.NewConcentration(perNodeComm)
+
+	// Shard 0 shares the original field and receives every other shard's
+	// position mails, so its view carries the final placement.
+	positions := make([]geom.Point, field.Len())
+	for i := 0; i < field.Len(); i++ {
+		positions[i] = field.Position(topology.NodeID(i))
+	}
+
+	sent := map[msg.Kind]int{}
+	for _, st := range stacks {
+		for kind, v := range st.rt.Sent() {
+			sent[kind] += v
+		}
+	}
+
+	trees := map[msg.InterestID][][2]topology.NodeID{}
+	for i := 0; i < field.Len(); i++ {
+		rt := stacks[owner[i]].rt
+		for si := range assign.Sinks {
+			iid := msg.InterestID(si)
+			for _, nbr := range rt.DataGradients(topology.NodeID(i), iid) {
+				trees[iid] = append(trees[iid], [2]topology.NodeID{topology.NodeID(i), nbr})
+			}
+		}
+	}
+
+	var repair *diffusion.RepairStats
+	if cfg.Diffusion.Repair.Enabled {
+		merged := diffusion.RepairStats{}
+		for _, st := range stacks {
+			rs := st.rt.RepairStats()
+			merged.WatchdogFires += rs.WatchdogFires
+			merged.Reinforces += rs.Reinforces
+			merged.Probes += rs.Probes
+			merged.ProbeReplies += rs.ProbeReplies
+			merged.CtrlRetries += rs.CtrlRetries
+			merged.DataRebuffers += rs.DataRebuffers
+			merged.FallbackBroadcasts += rs.FallbackBroadcasts
+		}
+		repair = &merged
+	}
+
+	var mobility *MobilityReport
+	if cfg.Mobility.Enabled() {
+		mobility = &MobilityReport{}
+		speeds := make([]float64, field.Len())
+		mobileTotal := 0
+		for _, st := range stacks {
+			if e := st.mover.Epochs(); e > mobility.Epochs {
+				mobility.Epochs = e
+			}
+			mobility.LinkChanges += st.mover.LinkChanges()
+			mobility.TotalDistance += st.mover.TotalDistance()
+			mobileTotal += st.mover.Mobile()
+			// A node's speed is nonzero only on its owner (everyone else has
+			// it pinned), so the element-wise max assembles the full vector.
+			for i, v := range st.mover.Speeds(cfg.Duration) {
+				if v > speeds[i] {
+					speeds[i] = v
+				}
+			}
+		}
+		if mobileTotal > 0 && cfg.Duration > 0 {
+			mobility.MeanSpeed = mobility.TotalDistance / cfg.Duration.Seconds() / float64(mobileTotal)
+		}
+		for _, v := range speeds {
+			if v > mobility.MaxSpeed {
+				mobility.MaxSpeed = v
+			}
+		}
+		mobility.SpeedBuckets = metrics.SpeedProfile(speeds, perNodeComm, nil)
+	}
+
+	gs := group.Stats()
+	kstats := KernelStats{WallTime: time.Since(wallStart)}
+	for _, st := range stacks {
+		kstats.Events += st.shard.Kernel().Processed()
+		if hw := st.shard.Kernel().QueueHighWater(); hw > kstats.QueueHighWater {
+			kstats.QueueHighWater = hw
+		}
+	}
+	ss := &ShardStats{
+		Requested:        cfg.Shards,
+		Shards:           k,
+		Delta:            group.Delta(),
+		Windows:          gs.Windows,
+		Mails:            gs.Mails,
+		MailboxHighWater: gs.MailboxHighWater,
+		Clamped:          gs.Clamped,
+		Events:           gs.ShardEvents,
+		Busy:             gs.ShardBusy,
+		Stall:            make([]time.Duration, k),
+		Wall:             gs.Wall,
+	}
+	for i := range ss.Stall {
+		if gs.Wall > gs.ShardBusy[i] {
+			ss.Stall[i] = gs.Wall - gs.ShardBusy[i]
+		}
+	}
+
+	macStats := mergeMACStats(stacks)
+
+	var telemetry []obs.Metric
+	if reg != nil {
+		for _, st := range stacks {
+			if ins := st.rt.Instruments(); ins != nil {
+				ins.FlushCascades()
+			}
+			if err := reg.Absorb(st.reg.Snapshot()); err != nil {
+				return Output{}, err
+			}
+		}
+		bridgeStats(reg, cfg.Scheme.String(), macStats, sent, kstats, cfg.Duration)
+		if repair != nil {
+			bridgeRepair(reg, cfg.Scheme.String(), *repair)
+		}
+		bridgeShardStats(reg, cfg.Scheme.String(), *ss)
+		telemetry = reg.Snapshot()
+	}
+
+	return Output{
+		Metrics:    result,
+		MAC:        macStats,
+		Assignment: assign,
+		Density:    field.MeanDegree(),
+		Sent:       sent,
+		Positions:  positions,
+		Trees:      trees,
+		Mobility:   mobility,
+		Repair:     repair,
+		Kernel:     kstats,
+		Shards:     ss,
+		Telemetry:  telemetry,
+	}, nil
+}
+
+// scheduleShardMobility arms one shard's epoch timer: advance the owned
+// nodes, then mail every changed position to every other shard. Waypoint
+// pauses and unmoved nodes send nothing.
+func scheduleShardMobility(epochEvery time.Duration, st *shardStack, group *sim.ShardGroup,
+	owner []uint8, self uint8) {
+	kernel := st.shard.Kernel()
+	k := len(group.Shards())
+	prev := make([]geom.Point, st.field.Len())
+	for i := range prev {
+		prev[i] = st.field.Position(topology.NodeID(i))
+	}
+	var epoch func()
+	epoch = func() {
+		st.mover.Advance(kernel.Now(), kernel.Rand())
+		at := kernel.Now() + group.Delta()
+		for i, o := range owner {
+			if o != self {
+				continue
+			}
+			id := topology.NodeID(i)
+			p := st.field.Position(id)
+			if p == prev[i] {
+				continue
+			}
+			prev[i] = p
+			for j := 0; j < k; j++ {
+				if j != int(self) {
+					st.shard.Send(j, at, nodeMoved{id: id, to: p})
+				}
+			}
+		}
+		kernel.Schedule(epochEvery, epoch)
+	}
+	kernel.Schedule(epochEvery, epoch)
+}
+
+// mergeMACStats folds the per-shard link-layer counters into one snapshot:
+// sums everywhere, maximum for the queue high-water mark.
+func mergeMACStats(stacks []*shardStack) mac.Stats {
+	var out mac.Stats
+	for _, st := range stacks {
+		s := st.net.Stats()
+		out.DataTx += s.DataTx
+		out.AckTx += s.AckTx
+		out.RtsTx += s.RtsTx
+		out.CtsTx += s.CtsTx
+		out.Delivered += s.Delivered
+		out.Collisions += s.Collisions
+		out.Retries += s.Retries
+		out.Backoffs += s.Backoffs
+		out.BytesOnAir += s.BytesOnAir
+		out.AcksMissing += s.AcksMissing
+		out.LinkLoss += s.LinkLoss
+		out.RemoteMails += s.RemoteMails
+		if s.QueueMax > out.QueueMax {
+			out.QueueMax = s.QueueMax
+		}
+		for reason, v := range s.Drops {
+			if out.Drops == nil {
+				out.Drops = make(map[mac.DropReason]int)
+			}
+			out.Drops[reason] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/diffusion"
+	"repro/internal/failure"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// shardCfg is quickCfg on the sharded kernel.
+func shardCfg(scheme Scheme, shards int) Config {
+	cfg := quickCfg(scheme)
+	cfg.Seed = 7
+	cfg.Shards = shards
+	return cfg
+}
+
+// TestShardedDeterministic runs the same sharded configuration twice and
+// demands identical results in everything but wall-clock — the byte-for-byte
+// contract for a fixed (seed, shard count) pair. Mobility is on so the
+// position-mail path is covered too.
+func TestShardedDeterministic(t *testing.T) {
+	cfg := shardCfg(SchemeGreedy, 2)
+	cfg.Mobility = topology.DefaultMobilityConfig(topology.MobilityWalk)
+	run := func() Output {
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Errorf("Metrics diverged:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if !reflect.DeepEqual(a.MAC, b.MAC) {
+		t.Errorf("MAC stats diverged:\n%+v\n%+v", a.MAC, b.MAC)
+	}
+	if !reflect.DeepEqual(a.Sent, b.Sent) {
+		t.Errorf("Sent diverged: %v vs %v", a.Sent, b.Sent)
+	}
+	if !reflect.DeepEqual(a.Trees, b.Trees) {
+		t.Error("Trees diverged")
+	}
+	if !reflect.DeepEqual(a.Positions, b.Positions) {
+		t.Error("final Positions diverged (mobility replay is not deterministic)")
+	}
+	if !reflect.DeepEqual(a.Mobility, b.Mobility) {
+		t.Errorf("Mobility reports diverged:\n%+v\n%+v", a.Mobility, b.Mobility)
+	}
+	if a.Kernel.Events != b.Kernel.Events {
+		t.Errorf("event counts diverged: %d vs %d", a.Kernel.Events, b.Kernel.Events)
+	}
+	if a.Shards == nil || b.Shards == nil {
+		t.Fatal("sharded run reported no ShardStats")
+	}
+	if a.Shards.Windows != b.Shards.Windows || a.Shards.Mails != b.Shards.Mails ||
+		!reflect.DeepEqual(a.Shards.Events, b.Shards.Events) {
+		t.Errorf("shard machinery diverged: %+v vs %+v", a.Shards, b.Shards)
+	}
+	if a.Shards.Clamped != 0 {
+		t.Errorf("Clamped = %d, want 0: the MAC emitted a latency below its declared lookahead", a.Shards.Clamped)
+	}
+}
+
+// TestShardsOneIsSerial: shards=1 routes through the untouched serial path,
+// so its output is identical to shards=0 — every existing determinism golden
+// stands.
+func TestShardsOneIsSerial(t *testing.T) {
+	zero, err := Run(shardCfg(SchemeGreedy, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Run(shardCfg(SchemeGreedy, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Shards != nil {
+		t.Fatal("shards=1 reported ShardStats; it must take the serial path")
+	}
+	if !reflect.DeepEqual(zero.Metrics, one.Metrics) || !reflect.DeepEqual(zero.MAC, one.MAC) ||
+		!reflect.DeepEqual(zero.Sent, one.Sent) || !reflect.DeepEqual(zero.Trees, one.Trees) ||
+		zero.Kernel.Events != one.Kernel.Events {
+		t.Fatal("shards=1 output differs from shards=0")
+	}
+}
+
+// TestShardedMatchesSerialClosely compares a sharded run against the serial
+// run of the same configuration. They are different (equally valid) event
+// interleavings, so the comparison is a tolerance, not equality.
+func TestShardedMatchesSerialClosely(t *testing.T) {
+	serial, err := Run(shardCfg(SchemeGreedy, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Run(shardCfg(SchemeGreedy, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards == nil || sharded.Shards.Shards != 2 {
+		t.Fatalf("ShardStats = %+v, want 2 effective shards", sharded.Shards)
+	}
+	if serial.Shards != nil {
+		t.Fatal("serial run reported ShardStats")
+	}
+	within := func(name string, a, b, tol float64) {
+		if b == 0 {
+			t.Fatalf("%s: serial value is zero", name)
+		}
+		if r := math.Abs(a-b) / b; r > tol {
+			t.Errorf("%s: sharded %g vs serial %g (%.1f%% apart, tolerance %.0f%%)",
+				name, a, b, 100*r, 100*tol)
+		}
+	}
+	within("delivery ratio", sharded.Metrics.DeliveryRatio, serial.Metrics.DeliveryRatio, 0.05)
+	within("generated events", float64(sharded.Metrics.GeneratedEvents), float64(serial.Metrics.GeneratedEvents), 0.05)
+	within("dissipated energy", sharded.Metrics.AvgDissipatedEnergy, serial.Metrics.AvgDissipatedEnergy, 0.05)
+	within("total energy", sharded.Metrics.TotalEnergy, serial.Metrics.TotalEnergy, 0.02)
+}
+
+// TestShardedGeometryClamp asks for far more strips than the field can hold
+// and checks the run clamps to the strip-width maximum instead of failing.
+func TestShardedGeometryClamp(t *testing.T) {
+	cfg := shardCfg(SchemeGreedy, 100)
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := out.Shards
+	if ss == nil {
+		t.Fatal("no ShardStats")
+	}
+	// 200 m field at 40 m range: at most 5 strips a full range wide.
+	if ss.Requested != 100 || ss.Shards != 5 {
+		t.Fatalf("Requested/Shards = %d/%d, want 100/5", ss.Requested, ss.Shards)
+	}
+	if len(ss.Events) != 5 || len(ss.Busy) != 5 || len(ss.Stall) != 5 {
+		t.Fatalf("per-shard slices sized %d/%d/%d, want 5", len(ss.Events), len(ss.Busy), len(ss.Stall))
+	}
+}
+
+// TestShardedEnvelope enumerates the features the sharded kernel refuses.
+func TestShardedEnvelope(t *testing.T) {
+	churned := shardCfg(SchemeGreedy, 2)
+	churned.Churn = failure.ChurnConfig{JoinFraction: 0.2, JoinWindow: 10 * time.Second}
+	battery := shardCfg(SchemeGreedy, 2)
+	battery.BatteryJ = 1
+	failures := shardCfg(SchemeGreedy, 2)
+	fc := failure.DefaultConfig()
+	failures.Failures = &fc
+	chaotic := shardCfg(SchemeGreedy, 2)
+	cc := chaos.DefaultConfig()
+	chaotic.Chaos = &cc
+	rts := shardCfg(SchemeGreedy, 2)
+	rts.MAC.UseRTSCTS = true
+	flight := shardCfg(SchemeGreedy, 2)
+	flight.FlightPath = t.TempDir() + "/flight.ndjson"
+	snaps := shardCfg(SchemeGreedy, 2)
+	snaps.Telemetry = &obs.Config{SnapshotEvery: time.Second}
+	negative := shardCfg(SchemeGreedy, -1)
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"idealized scheme", shardCfg(SchemeFlooding, 2)},
+		{"failure waves", failures},
+		{"chaos", chaotic},
+		{"churn", churned},
+		{"battery", battery},
+		{"rtscts", rts},
+		{"flight recorder", flight},
+		{"protocol snapshots", snaps},
+		{"negative shards", negative},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a config outside the sharded envelope", tc.name)
+		}
+	}
+
+	// The same features are fine when the run is serial.
+	serialFlood := shardCfg(SchemeFlooding, 0)
+	if err := serialFlood.Validate(); err != nil {
+		t.Errorf("serial flooding rejected: %v", err)
+	}
+	// Telemetry without snapshots is inside the envelope.
+	telem := shardCfg(SchemeGreedy, 2)
+	telem.Telemetry = &obs.Config{}
+	if err := telem.Validate(); err != nil {
+		t.Errorf("sharded telemetry (no snapshots) rejected: %v", err)
+	}
+	// Mobility and repair are inside the envelope.
+	mobile := shardCfg(SchemeGreedy, 2)
+	mobile.Mobility = topology.DefaultMobilityConfig(topology.MobilityWaypoint)
+	mobile.Diffusion.Repair = diffusion.DefaultRepairParams()
+	mobile.Diffusion.Repair.Enabled = true
+	if err := mobile.Validate(); err != nil {
+		t.Errorf("sharded mobility+repair rejected: %v", err)
+	}
+}
+
+// TestShardedStress exercises the widest in-envelope configuration — four
+// strips, waypoint mobility, repair, telemetry — primarily as the target of
+// the CI race-detector job on the cross-shard paths.
+func TestShardedStress(t *testing.T) {
+	cfg := shardCfg(SchemeOpportunistic, 4)
+	cfg.Nodes = 150
+	cfg.Mobility = topology.DefaultMobilityConfig(topology.MobilityWaypoint)
+	cfg.Diffusion.Repair = diffusion.DefaultRepairParams()
+	cfg.Diffusion.Repair.Enabled = true
+	cfg.Telemetry = &obs.Config{}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shards == nil || out.Shards.Shards != 4 {
+		t.Fatalf("ShardStats = %+v, want 4 effective shards", out.Shards)
+	}
+	if out.Metrics.DeliveryRatio <= 0 {
+		t.Fatalf("stress run delivered nothing: %+v", out.Metrics)
+	}
+	if out.Repair == nil {
+		t.Error("repair-enabled run produced no RepairStats")
+	}
+	if out.Mobility == nil || out.Mobility.Epochs == 0 {
+		t.Errorf("mobility never advanced: %+v", out.Mobility)
+	}
+	if len(out.Telemetry) == 0 {
+		t.Error("telemetry snapshot is empty")
+	}
+	found := false
+	for _, m := range out.Telemetry {
+		if m.Name == "shard_count" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("telemetry lacks the shard_count gauge")
+	}
+}

@@ -63,13 +63,18 @@ func summarize(out core.Output) LedgerOutput {
 // LedgerEntry is one completed sweep cell: its coordinates, the seed and
 // simulated seconds that validate a replay, and the run's summary.
 type LedgerEntry struct {
-	Figure  string       `json:"figure"`
-	Series  string       `json:"series"`
-	X       int          `json:"x"`
-	Field   int          `json:"field"`
-	Seed    int64        `json:"seed"`
-	SimSecs float64      `json:"sim_secs"`
-	Output  LedgerOutput `json:"output"`
+	Figure  string  `json:"figure"`
+	Series  string  `json:"series"`
+	X       int     `json:"x"`
+	Field   int     `json:"field"`
+	Seed    int64   `json:"seed"`
+	SimSecs float64 `json:"sim_secs"`
+	// Shards is the run's core.Config.Shards (0 for serial entries, which is
+	// what ledgers written before sharding existed decode to). A sharded run
+	// is a different event interleaving than a serial one, so a replay must
+	// match the shard count too.
+	Shards int          `json:"shards,omitempty"`
+	Output LedgerOutput `json:"output"`
 }
 
 func ledgerKey(figure, series string, x, field int) string {
@@ -134,23 +139,26 @@ func (l *Ledger) Close() error {
 }
 
 // lookup returns the recorded summary for a cell, if one exists and was
-// produced by the same seed and simulated duration (a ledger written under
-// different options never replays).
-func (l *Ledger) lookup(figure, series string, x, field int, seed int64, simSecs float64) (LedgerOutput, bool) {
+// produced by the same seed, simulated duration, and shard count (a ledger
+// written under different options never replays).
+func (l *Ledger) lookup(figure, series string, x, field int, seed int64, simSecs float64, shards int) (LedgerOutput, bool) {
 	if l == nil {
 		return LedgerOutput{}, false
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e, ok := l.entries[ledgerKey(figure, series, x, field)]
-	if !ok || e.Seed != seed || e.SimSecs != simSecs {
+	if !ok || e.Seed != seed || e.SimSecs != simSecs || e.Shards != shards {
 		return LedgerOutput{}, false
 	}
 	return e.Output, true
 }
 
 // record appends one completed cell and indexes it for this process's own
-// later lookups.
+// later lookups. The append holds an exclusive flock, so two processes
+// sharing one ledger file (two sweep invocations racing on the same path)
+// interleave whole lines rather than corrupting each other — O_APPEND
+// positions the write at the true end, the lock keeps it atomic.
 func (l *Ledger) record(e LedgerEntry) error {
 	if l == nil {
 		return nil
@@ -162,8 +170,15 @@ func (l *Ledger) record(e LedgerEntry) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.entries[ledgerKey(e.Figure, e.Series, e.X, e.Field)] = &e
-	if _, err := l.file.Write(append(data, '\n')); err != nil {
-		return fmt.Errorf("harness: append ledger: %w", err)
+	if err := lockFile(l.file); err != nil {
+		return fmt.Errorf("harness: lock ledger: %w", err)
+	}
+	_, werr := l.file.Write(append(data, '\n'))
+	if uerr := unlockFile(l.file); werr == nil {
+		werr = uerr
+	}
+	if werr != nil {
+		return fmt.Errorf("harness: append ledger: %w", werr)
 	}
 	return nil
 }
@@ -237,7 +252,7 @@ func (id cellID) flightName() string {
 // summary is appended. Fresh runs feed Options.OnRun, and both paths emit
 // one Options.Progress line with the tracker's progress/ETA suffix.
 func runCell(o Options, led *Ledger, tr *progressTracker, id cellID, cfg core.Config) (LedgerOutput, error) {
-	if lo, ok := led.lookup(id.figure, id.series, id.x, id.field, cfg.Seed, cfg.Duration.Seconds()); ok {
+	if lo, ok := led.lookup(id.figure, id.series, id.x, id.field, cfg.Seed, cfg.Duration.Seconds(), cfg.Shards); ok {
 		if o.Progress != nil {
 			o.Progress(fmt.Sprintf("%s %s x=%d field=%d replayed from ledger [%s]",
 				id.figure, id.series, id.x, id.field, tr.note(true, 0)))
@@ -259,7 +274,7 @@ func runCell(o Options, led *Ledger, tr *progressTracker, id cellID, cfg core.Co
 	lo := summarize(out)
 	if err := led.record(LedgerEntry{
 		Figure: id.figure, Series: id.series, X: id.x, Field: id.field,
-		Seed: cfg.Seed, SimSecs: cfg.Duration.Seconds(), Output: lo,
+		Seed: cfg.Seed, SimSecs: cfg.Duration.Seconds(), Shards: cfg.Shards, Output: lo,
 	}); err != nil {
 		return LedgerOutput{}, err
 	}

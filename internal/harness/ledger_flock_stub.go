@@ -1,0 +1,11 @@
+//go:build !unix
+
+package harness
+
+import "os"
+
+// Platforms without flock fall back to O_APPEND alone: single-process sweeps
+// are still safe (the in-process mutex serializes appends), and concurrent
+// processes merely risk interleaved lines, which the ledger parser skips.
+func lockFile(*os.File) error   { return nil }
+func unlockFile(*os.File) error { return nil }

@@ -1,0 +1,318 @@
+// Conservative parallel sharding for the event kernel.
+//
+// A ShardGroup runs K independent Kernels in lockstep windows. The model
+// guarantees a minimum latency delta between an action on one shard and its
+// earliest possible effect on another (for the MAC: the airtime of the
+// smallest frame), which is the classic conservative-simulation lookahead.
+// Each window the coordinator computes the global lower bound on future
+// events m = min over shards of PeekTime, lets every shard run freely up to
+// LBTS = m + delta on its own goroutine, then drains the cross-shard
+// mailboxes at the barrier. A mail emitted at time t always takes effect at
+// or after t + delta >= window end, so no shard ever receives an event in
+// its past and no rollback is needed.
+//
+// Determinism contract: mails are delivered in (At, source shard, emit seq)
+// order at every barrier, each shard owns a private RNG stream derived from
+// the group seed, and the coordinator visits shards in index order — so a
+// run is bit-for-bit reproducible for a fixed (seed, shard count) pair.
+// Different shard counts are different (equally valid) interleavings:
+// shards=2 output need not match shards=1, but shards=2 always matches
+// shards=2. The serial path (one Kernel, no group) is untouched.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Mail is one cross-shard effect: an opaque payload that takes effect on the
+// destination shard at virtual time At. Payloads are produced and consumed by
+// the model layer (the MAC); the kernel only orders and transports them.
+type Mail struct {
+	At   Time
+	Data any
+
+	src int    // emitting shard, for the deterministic drain order
+	seq uint64 // per-(src,dst) emit counter, breaks (At, src) ties
+}
+
+// MailHandler consumes a delivered mail on the owning shard's goroutine, at
+// virtual time m.At.
+type MailHandler func(m Mail)
+
+// Shard is one member kernel of a ShardGroup plus its outboxes. All methods
+// must be called from the shard's own goroutine (inside event handlers)
+// except where noted.
+type Shard struct {
+	id     int
+	group  *ShardGroup
+	kernel *Kernel
+	handle MailHandler
+
+	// out stages mails per destination shard between barriers. Only this
+	// shard's goroutine appends; only the coordinator drains, after the
+	// barrier — so no locks are needed.
+	out    [][]Mail
+	outSeq []uint64
+
+	// busy accumulates wall time spent inside Kernel.Run, for the
+	// barrier-stall observability split (stall = group wall - busy).
+	busy time.Duration
+
+	start chan Time
+	done  chan struct{}
+}
+
+// ID returns the shard's index within its group.
+func (s *Shard) ID() int { return s.id }
+
+// Kernel returns the shard's private event kernel.
+func (s *Shard) Kernel() *Kernel { return s.kernel }
+
+// SetMailHandler installs the callback that consumes inbound mails. It must
+// be set before Run; mails arriving on a shard without a handler panic, as
+// that is a wiring bug.
+func (s *Shard) SetMailHandler(h MailHandler) { s.handle = h }
+
+// Send stages a mail for shard dst, taking effect at absolute virtual time
+// at. If at is closer than the group's lookahead allows, it is clamped to
+// now + delta — the model must tolerate (or never trigger) that slack; the
+// group counts clamps so tests can assert the model's latencies are honest.
+// Sending to the own shard is a bug (local effects belong on the kernel).
+func (s *Shard) Send(dst int, at Time, data any) {
+	if dst == s.id {
+		panic("sim: shard mail to self")
+	}
+	if min := s.kernel.Now() + s.group.delta; at < min {
+		at = min
+		s.group.clamped++
+	}
+	s.outSeq[dst]++
+	s.out[dst] = append(s.out[dst], Mail{At: at, Data: data, src: s.id, seq: s.outSeq[dst]})
+}
+
+// GroupStats reports what the window machinery did during Run — the
+// observability counters behind the per-shard events/s, barrier-stall and
+// mailbox-depth metrics.
+type GroupStats struct {
+	// Windows is the number of synchronization windows executed.
+	Windows uint64
+	// Mails is the total cross-shard mails delivered.
+	Mails uint64
+	// MailboxHighWater is the largest number of mails drained at one
+	// barrier, across all destination shards.
+	MailboxHighWater int
+	// Clamped counts mails whose effect time had to be pushed out to
+	// now + delta. Nonzero means the model emitted a latency below the
+	// declared lookahead.
+	Clamped uint64
+	// Wall is the wall-clock duration of Run.
+	Wall time.Duration
+	// ShardEvents and ShardBusy hold, per shard, the events processed and
+	// the wall time spent executing events (as opposed to stalled at the
+	// barrier).
+	ShardEvents []uint64
+	ShardBusy   []time.Duration
+}
+
+// ShardGroup coordinates K shard kernels through conservative time windows.
+// Construct with NewShardGroup, wire each shard's model, then call Run once
+// from the coordinating goroutine.
+type ShardGroup struct {
+	shards []*Shard
+	delta  Time
+
+	windows  uint64
+	mails    uint64
+	mailHigh int
+	clamped  uint64
+	wall     time.Duration
+
+	// inbox is the coordinator's scratch for sorting one destination's
+	// mails at a barrier.
+	inbox []Mail
+}
+
+// NewShardGroup builds k shards with RNG streams derived from seed and a
+// conservative lookahead of delta (> 0). Shard i's kernel is seeded with
+// seed+i: distinct streams, deterministic per (seed, k).
+func NewShardGroup(seed int64, k int, delta Time) *ShardGroup {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: shard count %d", k))
+	}
+	if delta <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v", delta))
+	}
+	g := &ShardGroup{delta: delta, shards: make([]*Shard, k)}
+	for i := range g.shards {
+		g.shards[i] = &Shard{
+			id:     i,
+			group:  g,
+			kernel: NewKernel(seed + int64(i)),
+			out:    make([][]Mail, k),
+			outSeq: make([]uint64, k),
+			start:  make(chan Time),
+			done:   make(chan struct{}),
+		}
+	}
+	return g
+}
+
+// Shards returns the member shards in index order.
+func (g *ShardGroup) Shards() []*Shard { return g.shards }
+
+// Shard returns member i.
+func (g *ShardGroup) Shard(i int) *Shard { return g.shards[i] }
+
+// Delta returns the group's conservative lookahead.
+func (g *ShardGroup) Delta() Time { return g.delta }
+
+// Stats returns the group's counters. Valid after Run returns.
+func (g *ShardGroup) Stats() GroupStats {
+	st := GroupStats{
+		Windows:          g.windows,
+		Mails:            g.mails,
+		MailboxHighWater: g.mailHigh,
+		Clamped:          g.clamped,
+		Wall:             g.wall,
+		ShardEvents:      make([]uint64, len(g.shards)),
+		ShardBusy:        make([]time.Duration, len(g.shards)),
+	}
+	for i, s := range g.shards {
+		st.ShardEvents[i] = s.kernel.Processed()
+		st.ShardBusy[i] = s.busy
+	}
+	return st
+}
+
+// Run drives every shard to the horizon and returns it. Windows are anchored
+// at the global minimum next-event time m and extend delta beyond it, so a
+// quiet simulation hops across idle gaps instead of ticking fixed steps.
+// Blocking channel barriers (not spinning) keep a K-shard group correct and
+// merely slower, never livelocked, on a machine with fewer than K cores.
+func (g *ShardGroup) Run(horizon Time) Time {
+	began := time.Now()
+	for _, s := range g.shards {
+		go s.work()
+	}
+	for {
+		g.drainMail()
+		m, any := g.minNextEvent()
+		if !any || m > horizon {
+			// Nothing left inside the horizon: advance every clock to the
+			// horizon and stop. Mails staged in this final window were
+			// already delivered by drainMail above; a mail emitted while
+			// running *to* the horizon lands at >= now + delta and is
+			// delivered (and possibly fired, if exactly at the horizon) by
+			// the next loop iteration, so keep looping until silence.
+			g.runWindow(horizon)
+			if g.quiescent(horizon) {
+				break
+			}
+			continue
+		}
+		end := m + g.delta
+		if end > horizon {
+			end = horizon
+		}
+		g.runWindow(end)
+	}
+	for _, s := range g.shards {
+		close(s.start)
+	}
+	g.wall = time.Since(began)
+	return horizon
+}
+
+// quiescent reports whether no shard has a live event at or before the
+// horizon and no mail is staged — the termination condition.
+func (g *ShardGroup) quiescent(horizon Time) bool {
+	for _, s := range g.shards {
+		for _, box := range s.out {
+			if len(box) > 0 {
+				return false
+			}
+		}
+		if at, ok := s.kernel.PeekTime(); ok && at <= horizon {
+			return false
+		}
+	}
+	return true
+}
+
+// minNextEvent returns the earliest live event time across all shards.
+func (g *ShardGroup) minNextEvent() (Time, bool) {
+	var m Time
+	any := false
+	for _, s := range g.shards {
+		if at, ok := s.kernel.PeekTime(); ok && (!any || at < m) {
+			m, any = at, true
+		}
+	}
+	return m, any
+}
+
+// runWindow releases every shard to run up to end and blocks until all have
+// reached it. On return the workers are idle, so the coordinator may touch
+// shard state freely (the channel round-trip publishes memory both ways).
+func (g *ShardGroup) runWindow(end Time) {
+	g.windows++
+	for _, s := range g.shards {
+		s.start <- end
+	}
+	for _, s := range g.shards {
+		<-s.done
+	}
+}
+
+// drainMail moves every staged mail to its destination kernel. For each
+// destination, mails are merged across sources and sorted by
+// (At, src, seq) — a total order, so delivery interleaving is independent
+// of goroutine timing. Mails are scheduled as ordinary events; consecutive
+// kernel sequence numbers preserve the sorted order at equal timestamps.
+func (g *ShardGroup) drainMail() {
+	for di, d := range g.shards {
+		box := g.inbox[:0]
+		for _, s := range g.shards {
+			box = append(box, s.out[di]...)
+			s.out[di] = s.out[di][:0]
+		}
+		if len(box) == 0 {
+			continue
+		}
+		sort.Slice(box, func(i, j int) bool {
+			a, b := &box[i], &box[j]
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.seq < b.seq
+		})
+		if len(box) > g.mailHigh {
+			g.mailHigh = len(box)
+		}
+		g.mails += uint64(len(box))
+		if d.handle == nil {
+			panic(fmt.Sprintf("sim: shard %d received mail without a handler", di))
+		}
+		for _, m := range box {
+			m := m
+			h := d.handle
+			d.kernel.At(m.At, func() { h(m) })
+		}
+		g.inbox = box // keep the grown scratch capacity
+	}
+}
+
+// work is the shard goroutine: wait for a window, run to its end, report.
+func (s *Shard) work() {
+	for end := range s.start {
+		t0 := time.Now()
+		s.kernel.Run(end)
+		s.busy += time.Since(t0)
+		s.done <- struct{}{}
+	}
+}

@@ -1,0 +1,83 @@
+// Spatial sharding support: strip partitioning for the parallel kernel and
+// field cloning so every shard can hold a private, independently movable
+// copy of the placement.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// MaxShards returns the largest shard count the field supports: vertical
+// strips must be at least one radio range wide so only adjacent strips can
+// ever exchange frames directly, which is what bounds cross-shard latency by
+// a single frame's airtime.
+func MaxShards(f *Field) int {
+	k := int(f.area.Width() / f.rng)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// ShardStrips assigns every node to one of k vertical strips of equal width
+// by its current x position and returns the owner table. Ownership is
+// static for the whole run — a mobile node that wanders across a strip
+// border keeps its home shard and its frames simply travel by mailbox — so
+// the table is a pure function of the initial placement. k must not exceed
+// MaxShards(f) or 255 (owners are bytes).
+func ShardStrips(f *Field, k int) ([]uint8, error) {
+	if k < 1 || k > 255 {
+		return nil, fmt.Errorf("topology: shard count %d out of range", k)
+	}
+	if max := MaxShards(f); k > max {
+		return nil, fmt.Errorf("topology: %d shards but field %gm wide with range %gm supports at most %d",
+			k, f.area.Width(), f.rng, max)
+	}
+	owner := make([]uint8, len(f.positions))
+	width := f.area.Width() / float64(k)
+	for i, p := range f.positions {
+		s := int((p.X - f.area.MinX) / width)
+		if s >= k {
+			s = k - 1
+		}
+		owner[i] = uint8(s)
+	}
+	return owner, nil
+}
+
+// Clone returns a deep copy of the field: positions, adjacency, and the
+// persistent grid are all private to the copy, so MoveNode on the clone
+// never touches the original. Scratch buffers are not shared.
+func (f *Field) Clone() *Field {
+	c := &Field{
+		area:      f.area,
+		rng:       f.rng,
+		positions: append([]geom.Point(nil), f.positions...),
+		neighbors: make([][]NodeID, len(f.neighbors)),
+		cols:      f.cols,
+		rows:      f.rows,
+		cells:     make([][]NodeID, len(f.cells)),
+		cellIdx:   append([]int(nil), f.cellIdx...),
+	}
+	for i, ns := range f.neighbors {
+		c.neighbors[i] = append([]NodeID(nil), ns...)
+	}
+	for i, cell := range f.cells {
+		c.cells[i] = append([]NodeID(nil), cell...)
+	}
+	return c
+}
+
+// Restrict pins every node for which keep returns false, on top of the
+// pins already in place. A sharded run gives each shard's mover the full
+// field clone but restricts it to the nodes the shard owns; remote nodes'
+// positions arrive as mailbox updates instead.
+func (m *Mover) Restrict(keep func(NodeID) bool) {
+	for i := range m.pinned {
+		if !keep(NodeID(i)) {
+			m.pinned[i] = true
+		}
+	}
+}
