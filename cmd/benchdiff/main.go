@@ -89,6 +89,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// A gated metric the baseline never recorded would otherwise be skipped
+	// on every benchmark and pass silently — the gate would be vacuous.
+	for _, unit := range metrics {
+		if !hasMetric(base, unit) {
+			return fmt.Errorf("metric %q missing from %s", unit, *basePath)
+		}
+	}
 	deltas := bench.Compare(base, cur, bench.CompareOptions{
 		Threshold:   *threshold,
 		GateTime:    *gateTime,
@@ -106,6 +113,17 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "\nno regressions")
 	return nil
+}
+
+// hasMetric reports whether any baseline result carries the custom metric
+// unit, i.e. whether gating on it can ever compare anything.
+func hasMetric(b *bench.Baseline, unit string) bool {
+	for _, r := range b.Results {
+		if _, ok := r.Metrics[unit]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // readInput loads the current run from the single file argument or stdin,

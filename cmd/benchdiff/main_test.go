@@ -124,6 +124,26 @@ PASS
 	}
 }
 
+func TestCompareMetricMissingFromBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	snapshot(t, rawBase, basePath) // no custom metric columns at all
+	cur := filepath.Join(dir, "cur.txt")
+	if err := os.WriteFile(cur, []byte(rawBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-baseline", basePath, "-metric", "bytes/node", cur}, &sb)
+	if err == nil {
+		t.Fatalf("gating on a metric absent from the baseline passed silently:\n%s", sb.String())
+	}
+	for _, want := range []string{"bytes/node", "missing", basePath} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
 func TestModeFlagValidation(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"x.txt"}, &sb); err == nil {

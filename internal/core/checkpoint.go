@@ -1,0 +1,912 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/diffusion"
+	"repro/internal/energy"
+	"repro/internal/failure"
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/msg"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/snap"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Checkpoint/restore orchestration (DESIGN.md §12).
+//
+// A checkpoint records the complete deterministic state of a serial run —
+// kernel clock scalars and RNG stream position, every pending event with a
+// rebindable runner identity, the MAC slabs and in-flight transmissions, the
+// diffusion soft-state tables, field and mover positions, failure
+// accounting, energy meters, the metrics collector, and the telemetry
+// registry — into a snap container written atomically next to the run.
+//
+// Restore rebuilds the run from (Config, Seed) with buildRun(cfg, true),
+// which replays the structural random draws (field generation, placement,
+// per-node protocol initialization) without arming any events, then overlays
+// the recorded mutable state, reinstalls the pending events at their exact
+// (at, seq) positions, and fast-forwards the RNG to the recorded absolute
+// draw count. From there the event loop continues bit-identically to a run
+// that was never interrupted.
+
+// ErrInterrupted is returned by Run when cfg.Interrupt fired: a final
+// checkpoint has been written and the run can be resumed with Restore.
+var ErrInterrupted = errors.New("core: run interrupted, checkpoint written")
+
+// Event owner tags in the "events" section.
+const (
+	ownerCancelled uint8 = iota
+	ownerMAC
+	ownerDiffusion
+	ownerCore
+)
+
+// Core runner subtags (singletons identified by pointer; see runState).
+const (
+	coreRunnerEpoch uint8 = iota + 1
+	coreRunnerWatch
+	coreRunnerTick
+)
+
+// Section names inside the snap container.
+const (
+	secMeta      = "meta"
+	secEvents    = "events"
+	secMAC       = "mac"
+	secDiffusion = "diffusion"
+	secTopology  = "topology"
+	secFailure   = "failure"
+	secEnergy    = "energy"
+	secMetrics   = "metrics"
+	secObs       = "obs"
+)
+
+// CheckpointSupported reports whether the configuration is inside the
+// checkpoint envelope, with a reason when it is not. The envelope is the
+// serial diffusion path — including mobility, repair, batteries, RTS/CTS,
+// telemetry, and a resumable tracer. Subsystems that still schedule closure
+// events (chaos, churn, failure waves) or run outside the single kernel
+// (shards) are rejected up front rather than failing at the first snapshot.
+func CheckpointSupported(cfg Config) error {
+	switch {
+	case cfg.Shards > 1:
+		return fmt.Errorf("core: checkpointing sharded runs is not supported: " +
+			"shard kernels interleave through lookahead windows whose barrier state " +
+			"is not serialized; run serial (Shards<=1) or restart the cell from scratch")
+	case cfg.Scheme.Idealized():
+		return fmt.Errorf("core: checkpointing is not supported for the idealized %v reference scheme", cfg.Scheme)
+	case cfg.Chaos != nil:
+		return fmt.Errorf("core: checkpointing is not supported with chaos fault injection")
+	case cfg.Churn.Enabled():
+		return fmt.Errorf("core: checkpointing is not supported with population churn")
+	case cfg.Failures != nil && cfg.Failures.Fraction > 0:
+		return fmt.Errorf("core: checkpointing is not supported with failure waves")
+	case cfg.FlightPath != "":
+		return fmt.Errorf("core: checkpointing is not supported with the flight recorder")
+	}
+	if cfg.Tracer != nil {
+		if _, ok := cfg.Tracer.(trace.Resumable); !ok {
+			return fmt.Errorf("core: tracer %T cannot resume after a restore "+
+				"(it does not implement trace.Resumable)", cfg.Tracer)
+		}
+	}
+	return nil
+}
+
+// configDigest hashes every configuration field that shapes a run's
+// deterministic evolution. A checkpoint records it and Restore verifies it,
+// so a snapshot can never be resumed into a run it does not describe.
+// Function-valued fields are reduced to determinism-relevant facts: the
+// aggregation function to its concrete type and parameters, the link-cost
+// hook to presence (its address is process-specific and its behavior is the
+// caller's contract to keep stable).
+func configDigest(cfg Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d seed=%d scheme=%v nodes=%d side=%v range=%v",
+		snap.FormatVersion, cfg.Seed, cfg.Scheme, cfg.Nodes, cfg.FieldSide, cfg.Range)
+	fmt.Fprintf(&b, " workload=%+v protect=%t", cfg.Workload, cfg.ProtectEndpoints)
+	if cfg.Failures != nil {
+		fmt.Fprintf(&b, " failures=%+v", *cfg.Failures)
+	}
+	fmt.Fprintf(&b, " mobility=%+v churn=%+v", cfg.Mobility, cfg.Churn)
+	fmt.Fprintf(&b, " dur=%v drain=%v battery=%v tries=%d",
+		cfg.Duration, cfg.DrainTail, cfg.BatteryJ, cfg.MaxPlacementTries)
+	d := cfg.Diffusion
+	d.Agg = nil
+	d.LinkCost = nil
+	fmt.Fprintf(&b, " diffusion=%+v agg=%T:%+v linkcost=%t",
+		d, cfg.Diffusion.Agg, cfg.Diffusion.Agg, cfg.Diffusion.LinkCost != nil)
+	fmt.Fprintf(&b, " mac=%+v energy=%+v", cfg.MAC, cfg.Energy)
+	snapEvery := time.Duration(0)
+	if cfg.Telemetry != nil {
+		snapEvery = cfg.Telemetry.SnapshotEvery
+	}
+	fmt.Fprintf(&b, " telemetry=%t snapevery=%v tracer=%t",
+		cfg.Telemetry != nil, snapEvery, cfg.Tracer != nil)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// execute runs the event loop to the horizon. Without a checkpoint path this
+// is a single kernel.Run (guarded by the flight recorder when armed). With
+// one, the loop advances in slices ending at absolute multiples of
+// CheckpointEvery, rewriting the snapshot between slices and polling
+// cfg.Interrupt at each boundary; slicing is unobservable to the model —
+// events fire at identical (at, seq) positions either way. The snapshot file
+// is removed when the horizon is reached, so a stale checkpoint can never be
+// resumed into a completed run's follow-up.
+func (st *runState) execute() error {
+	cfg := st.cfg
+	if cfg.CheckpointPath == "" {
+		if st.flight != nil {
+			runGuarded(st.kernel, cfg.Duration, st.flight, cfg.FlightPath)
+		} else {
+			st.kernel.Run(cfg.Duration)
+		}
+		return nil
+	}
+	for st.kernel.Now() < cfg.Duration {
+		next := st.kernel.Now() - st.kernel.Now()%cfg.CheckpointEvery + cfg.CheckpointEvery
+		if next > cfg.Duration {
+			next = cfg.Duration
+		}
+		st.kernel.Run(next)
+		interrupted := false
+		select {
+		case <-cfg.Interrupt:
+			interrupted = true
+		default:
+		}
+		if st.kernel.Now() >= cfg.Duration && !interrupted {
+			break
+		}
+		if err := st.writeCheckpoint(); err != nil {
+			return err
+		}
+		if interrupted {
+			return ErrInterrupted
+		}
+	}
+	if err := os.Remove(cfg.CheckpointPath); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("core: remove completed checkpoint: %w", err)
+	}
+	return nil
+}
+
+// writeCheckpoint atomically rewrites the snapshot file with the run's
+// current state.
+func (st *runState) writeCheckpoint() error {
+	sections, err := st.snapshotSections()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", st.cfg.CheckpointPath, err)
+	}
+	if err := snap.WriteFile(st.cfg.CheckpointPath, sections); err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", st.cfg.CheckpointPath, err)
+	}
+	return nil
+}
+
+// coreRunnerTag identifies the core-owned singleton runners by pointer.
+func (st *runState) coreRunnerTag(r sim.Runner) (uint8, bool) {
+	switch {
+	case st.epochR != nil && r == sim.Runner(st.epochR):
+		return coreRunnerEpoch, true
+	case st.watchR != nil && r == sim.Runner(st.watchR):
+		return coreRunnerWatch, true
+	case st.tickR != nil && r == sim.Runner(st.tickR):
+		return coreRunnerTick, true
+	}
+	return 0, false
+}
+
+// snapshotSections serializes the full run state. The pending events are
+// walked first — the MAC and diffusion snapshotters build their transmission
+// and orphan tables there — then each subsystem's state section follows.
+func (st *runState) snapshotSections() ([]snap.Section, error) {
+	macSnap := mac.NewSnapshotter(st.network)
+	diffSnap := diffusion.NewSnapshotter(st.rt)
+
+	var evw snap.Writer
+	events := st.kernel.PendingEvents()
+	evw.U32(uint32(len(events)))
+	for _, ev := range events {
+		evw.I64(int64(ev.At))
+		evw.U64(ev.Seq)
+		switch {
+		case ev.Cancelled:
+			evw.U8(ownerCancelled)
+		case ev.Closure:
+			return nil, fmt.Errorf("pending closure event at %v cannot be checkpointed "+
+				"(a subsystem outside the envelope scheduled it)", ev.At)
+		default:
+			if tag, ok := st.coreRunnerTag(ev.Runner); ok {
+				evw.U8(ownerCore)
+				evw.U8(tag)
+				continue
+			}
+			var pw snap.Writer
+			if ok, err := macSnap.EncodeRunner(&pw, ev.Runner); err != nil {
+				return nil, err
+			} else if ok {
+				evw.U8(ownerMAC)
+				evw.Raw(pw.Bytes())
+				continue
+			}
+			pw = snap.Writer{}
+			if ok, err := diffSnap.EncodeRunner(&pw, ev.Runner); err != nil {
+				return nil, err
+			} else if ok {
+				evw.U8(ownerDiffusion)
+				evw.Raw(pw.Bytes())
+				continue
+			}
+			return nil, fmt.Errorf("pending event at %v has unrecognized runner %T", ev.At, ev.Runner)
+		}
+	}
+
+	var macw snap.Writer
+	if err := macSnap.EncodeState(&macw); err != nil {
+		return nil, err
+	}
+	var diffw snap.Writer
+	if err := diffSnap.EncodeState(&diffw); err != nil {
+		return nil, err
+	}
+
+	traceOff := int64(-1)
+	if st.cfg.Tracer != nil {
+		res, ok := st.cfg.Tracer.(trace.Resumable)
+		if !ok {
+			return nil, fmt.Errorf("tracer %T is not resumable", st.cfg.Tracer)
+		}
+		off, err := res.Offset()
+		if err != nil {
+			return nil, fmt.Errorf("tracer offset: %w", err)
+		}
+		traceOff = off
+	}
+
+	var metaw snap.Writer
+	metaw.String(configDigest(st.cfg))
+	metaw.I64(int64(st.kernel.Now()))
+	metaw.U64(st.kernel.NextSeq())
+	metaw.U64(st.kernel.Processed())
+	metaw.U64(st.kernel.RandDraws())
+	metaw.Int(st.kernel.QueueHighWater())
+	metaw.I64(int64(st.life.FirstDeath))
+	metaw.Int(st.life.Deaths)
+	metaw.I64(traceOff)
+
+	var topow snap.Writer
+	topow.Bool(st.mover != nil)
+	if st.mover != nil {
+		encodeFieldState(&topow, st.field.State())
+		encodeMoverState(&topow, st.mover.State())
+	}
+
+	var failw snap.Writer
+	encodeScheduleState(&failw, st.sched.State())
+
+	var enw snap.Writer
+	enw.U32(uint32(st.field.Len()))
+	for i := 0; i < st.field.Len(); i++ {
+		encodeMeterState(&enw, st.network.Meter(topology.NodeID(i)).State())
+	}
+
+	var mw snap.Writer
+	encodeCollectorState(&mw, st.collector.State())
+
+	var ow snap.Writer
+	ow.Bool(st.reg != nil)
+	if st.reg != nil {
+		encodeMetricStates(&ow, st.reg.CheckpointState())
+	}
+
+	return []snap.Section{
+		{Name: secMeta, Data: metaw.Bytes()},
+		{Name: secEvents, Data: evw.Bytes()},
+		{Name: secMAC, Data: macw.Bytes()},
+		{Name: secDiffusion, Data: diffw.Bytes()},
+		{Name: secTopology, Data: topow.Bytes()},
+		{Name: secFailure, Data: failw.Bytes()},
+		{Name: secEnergy, Data: enw.Bytes()},
+		{Name: secMetrics, Data: mw.Bytes()},
+		{Name: secObs, Data: ow.Bytes()},
+	}, nil
+}
+
+// Restore resumes a run from a checkpoint written by Run under the same
+// configuration. The configuration must match field for field — the recorded
+// digest is verified — and the run continues to the horizon bit-identically
+// to one that was never interrupted: same CSV, same trace tail, same metrics
+// (wall-clock readings excepted). When cfg.CheckpointPath is set the resumed
+// run keeps checkpointing, so a resume can itself be interrupted and
+// resumed.
+func Restore(path string, cfg Config) (Output, error) {
+	if err := cfg.Validate(); err != nil {
+		return Output{}, err
+	}
+	if err := CheckpointSupported(cfg); err != nil {
+		return Output{}, err
+	}
+	sections, err := snap.ReadFile(path)
+	if err != nil {
+		return Output{}, err
+	}
+	st, err := buildRun(cfg, true)
+	if err != nil {
+		return Output{}, err
+	}
+	if err := st.restoreFrom(sections); err != nil {
+		return Output{}, fmt.Errorf("core: restore %s: %w", path, err)
+	}
+	return st.run()
+}
+
+// restoreFrom overlays a snapshot's recorded state onto a freshly built
+// (restoring=true) run. Ordering matters: subsystem state decodes before the
+// event section so runner payload references resolve into live tables; the
+// clock restores before the events so (at, seq) validation sees the recorded
+// now; audible lists bind after the last runner; the RNG fast-forwards last.
+func (st *runState) restoreFrom(sections []snap.Section) error {
+	meta, err := snap.Find(sections, secMeta)
+	if err != nil {
+		return err
+	}
+	mr := snap.NewReader(meta)
+	digest := mr.String()
+	now := sim.Time(mr.I64())
+	seq := mr.U64()
+	processed := mr.U64()
+	draws := mr.U64()
+	qhw := mr.Int()
+	st.life.FirstDeath = time.Duration(mr.I64())
+	st.life.Deaths = mr.Int()
+	traceOff := mr.I64()
+	if err := mr.Finish(); err != nil {
+		return fmt.Errorf("meta section: %w", err)
+	}
+	if digest != configDigest(st.cfg) {
+		return fmt.Errorf("checkpoint was written by a different configuration " +
+			"(config digest mismatch); resume with the exact flags of the original run")
+	}
+
+	topo, err := snap.Find(sections, secTopology)
+	if err != nil {
+		return err
+	}
+	tr := snap.NewReader(topo)
+	if hasMover := tr.Bool(); hasMover != (st.mover != nil) {
+		return fmt.Errorf("topology section mobility flag %t does not match configuration", hasMover)
+	}
+	if st.mover != nil {
+		fs, ferr := decodeFieldState(tr)
+		if ferr != nil {
+			return fmt.Errorf("topology section: %w", ferr)
+		}
+		ms, merr := decodeMoverState(tr)
+		if merr != nil {
+			return fmt.Errorf("topology section: %w", merr)
+		}
+		if err := tr.Finish(); err != nil {
+			return fmt.Errorf("topology section: %w", err)
+		}
+		if err := st.field.RestoreState(fs); err != nil {
+			return err
+		}
+		if err := st.mover.RestoreState(ms); err != nil {
+			return err
+		}
+	} else if err := tr.Finish(); err != nil {
+		return fmt.Errorf("topology section: %w", err)
+	}
+
+	failData, err := snap.Find(sections, secFailure)
+	if err != nil {
+		return err
+	}
+	fr := snap.NewReader(failData)
+	fs, err := decodeScheduleState(fr)
+	if err != nil {
+		return fmt.Errorf("failure section: %w", err)
+	}
+	if err := fr.Finish(); err != nil {
+		return fmt.Errorf("failure section: %w", err)
+	}
+	if err := st.sched.RestoreState(fs); err != nil {
+		return err
+	}
+
+	enData, err := snap.Find(sections, secEnergy)
+	if err != nil {
+		return err
+	}
+	er := snap.NewReader(enData)
+	if n := int(er.U32()); n != st.field.Len() {
+		if err := er.Err(); err != nil {
+			return fmt.Errorf("energy section: %w", err)
+		}
+		return fmt.Errorf("energy section has %d meters, field has %d nodes", n, st.field.Len())
+	}
+	for i := 0; i < st.field.Len(); i++ {
+		st.network.Meter(topology.NodeID(i)).RestoreState(decodeMeterState(er))
+	}
+	if err := er.Finish(); err != nil {
+		return fmt.Errorf("energy section: %w", err)
+	}
+
+	mData, err := snap.Find(sections, secMetrics)
+	if err != nil {
+		return err
+	}
+	cr := snap.NewReader(mData)
+	cs, err := decodeCollectorState(cr)
+	if err != nil {
+		return fmt.Errorf("metrics section: %w", err)
+	}
+	if err := cr.Finish(); err != nil {
+		return fmt.Errorf("metrics section: %w", err)
+	}
+	st.collector.RestoreState(cs)
+
+	oData, err := snap.Find(sections, secObs)
+	if err != nil {
+		return err
+	}
+	or := snap.NewReader(oData)
+	if hasReg := or.Bool(); hasReg != (st.reg != nil) {
+		return fmt.Errorf("obs section telemetry flag %t does not match configuration", hasReg)
+	}
+	if st.reg != nil {
+		states, serr := decodeMetricStates(or)
+		if serr != nil {
+			return fmt.Errorf("obs section: %w", serr)
+		}
+		if err := or.Finish(); err != nil {
+			return fmt.Errorf("obs section: %w", err)
+		}
+		if err := st.reg.RestoreCheckpointState(states); err != nil {
+			return err
+		}
+	} else if err := or.Finish(); err != nil {
+		return fmt.Errorf("obs section: %w", err)
+	}
+
+	macData, err := snap.Find(sections, secMAC)
+	if err != nil {
+		return err
+	}
+	macRest := mac.NewRestorer(st.network)
+	macR := snap.NewReader(macData)
+	if err := macRest.DecodeState(macR); err != nil {
+		return fmt.Errorf("mac section: %w", err)
+	}
+	if err := macR.Finish(); err != nil {
+		return fmt.Errorf("mac section: %w", err)
+	}
+
+	diffData, err := snap.Find(sections, secDiffusion)
+	if err != nil {
+		return err
+	}
+	diffRest := diffusion.NewRestorer(st.rt)
+	diffR := snap.NewReader(diffData)
+	if err := diffRest.DecodeState(diffR); err != nil {
+		return fmt.Errorf("diffusion section: %w", err)
+	}
+	if err := diffR.Finish(); err != nil {
+		return fmt.Errorf("diffusion section: %w", err)
+	}
+
+	if err := st.kernel.RestoreClock(now, seq, processed); err != nil {
+		return err
+	}
+	evData, err := snap.Find(sections, secEvents)
+	if err != nil {
+		return err
+	}
+	evr := snap.NewReader(evData)
+	n := int(evr.U32())
+	for i := 0; i < n; i++ {
+		at := sim.Time(evr.I64())
+		evSeq := evr.U64()
+		tag := evr.U8()
+		if err := evr.Err(); err != nil {
+			return fmt.Errorf("events section: %w", err)
+		}
+		switch tag {
+		case ownerCancelled:
+			if _, err := st.kernel.RestoreEvent(at, evSeq, nil); err != nil {
+				return err
+			}
+		case ownerMAC:
+			run, rerr := macRest.DecodeRunner(evr)
+			if rerr != nil {
+				return fmt.Errorf("events section: %w", rerr)
+			}
+			if _, err := st.kernel.RestoreEvent(at, evSeq, run); err != nil {
+				return err
+			}
+		case ownerDiffusion:
+			run, rerr := diffRest.DecodeRunner(evr)
+			if rerr != nil {
+				return fmt.Errorf("events section: %w", rerr)
+			}
+			tm, err := st.kernel.RestoreEvent(at, evSeq, run)
+			if err != nil {
+				return err
+			}
+			diffRest.Installed(run, tm)
+		case ownerCore:
+			var run sim.Runner
+			switch sub := evr.U8(); sub {
+			case coreRunnerEpoch:
+				if st.epochR == nil {
+					return fmt.Errorf("events section: mobility epoch event but mobility is off")
+				}
+				run = st.epochR
+			case coreRunnerWatch:
+				if st.watchR == nil {
+					return fmt.Errorf("events section: battery watch event but batteries are off")
+				}
+				run = st.watchR
+			case coreRunnerTick:
+				if st.tickR == nil {
+					return fmt.Errorf("events section: snapshot tick event but snapshotting is off")
+				}
+				run = st.tickR
+			default:
+				if err := evr.Err(); err != nil {
+					return fmt.Errorf("events section: %w", err)
+				}
+				return fmt.Errorf("events section: unknown core runner subtag %d", sub)
+			}
+			if _, err := st.kernel.RestoreEvent(at, evSeq, run); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("events section: unknown owner tag %d", tag)
+		}
+	}
+	if err := evr.Finish(); err != nil {
+		return fmt.Errorf("events section: %w", err)
+	}
+	if err := macRest.BindAudible(); err != nil {
+		return err
+	}
+	if err := st.kernel.ForwardRand(draws); err != nil {
+		return err
+	}
+	st.kernel.RestoreQueueHighWater(qhw)
+	diffRest.FinishRestore()
+
+	if traceOff >= 0 {
+		res, ok := st.cfg.Tracer.(trace.Resumable)
+		if !ok {
+			return fmt.Errorf("checkpoint recorded a trace offset but no resumable tracer is configured")
+		}
+		if err := res.TruncateTo(traceOff); err != nil {
+			return fmt.Errorf("truncate trace to checkpoint offset: %w", err)
+		}
+	} else if st.cfg.Tracer != nil {
+		return fmt.Errorf("tracer configured but checkpoint recorded no trace offset")
+	}
+	return nil
+}
+
+// --- per-subsystem state record layouts --------------------------------------
+
+// checkCount validates a decoded element count against the bytes actually
+// remaining, so a corrupted length cannot drive a huge allocation.
+func checkCount(r *snap.Reader, n int, what string) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n < 0 || n > r.Remaining() {
+		err := fmt.Errorf("%s count %d exceeds section size", what, n)
+		r.Fail(err)
+		return err
+	}
+	return nil
+}
+
+func encodeFieldState(w *snap.Writer, s topology.FieldState) {
+	w.U32(uint32(len(s.Positions)))
+	for _, p := range s.Positions {
+		w.F64(p.X)
+		w.F64(p.Y)
+	}
+	for _, ns := range s.Neighbors {
+		w.U32(uint32(len(ns)))
+		for _, id := range ns {
+			w.Int(int(id))
+		}
+	}
+}
+
+func decodeFieldState(r *snap.Reader) (topology.FieldState, error) {
+	var s topology.FieldState
+	n := int(r.U32())
+	if err := checkCount(r, n, "field position"); err != nil {
+		return s, err
+	}
+	s.Positions = make([]geom.Point, n)
+	for i := range s.Positions {
+		s.Positions[i] = geom.Point{X: r.F64(), Y: r.F64()}
+	}
+	s.Neighbors = make([][]topology.NodeID, n)
+	for i := range s.Neighbors {
+		m := int(r.U32())
+		if err := checkCount(r, m, "neighbor"); err != nil {
+			return s, err
+		}
+		for j := 0; j < m; j++ {
+			s.Neighbors[i] = append(s.Neighbors[i], topology.NodeID(r.Int()))
+		}
+	}
+	return s, r.Err()
+}
+
+func encodeMoverState(w *snap.Writer, s topology.MoverState) {
+	w.U32(uint32(len(s.Distance)))
+	for _, v := range s.Distance {
+		w.F64(v)
+	}
+	w.U32(uint32(len(s.Target)))
+	for _, p := range s.Target {
+		w.F64(p.X)
+		w.F64(p.Y)
+	}
+	w.U32(uint32(len(s.LegSpeed)))
+	for _, v := range s.LegSpeed {
+		w.F64(v)
+	}
+	w.U32(uint32(len(s.HasTarget)))
+	for _, v := range s.HasTarget {
+		w.Bool(v)
+	}
+	w.U32(uint32(len(s.PauseUntil)))
+	for _, v := range s.PauseUntil {
+		w.I64(int64(v))
+	}
+	w.Int(s.Epochs)
+	w.Int(s.LinkChanges)
+}
+
+func decodeMoverState(r *snap.Reader) (topology.MoverState, error) {
+	var s topology.MoverState
+	n := int(r.U32())
+	if err := checkCount(r, n, "mover distance"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.Distance = append(s.Distance, r.F64())
+	}
+	n = int(r.U32())
+	if err := checkCount(r, n, "mover target"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.Target = append(s.Target, geom.Point{X: r.F64(), Y: r.F64()})
+	}
+	n = int(r.U32())
+	if err := checkCount(r, n, "mover leg speed"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.LegSpeed = append(s.LegSpeed, r.F64())
+	}
+	n = int(r.U32())
+	if err := checkCount(r, n, "mover has-target"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.HasTarget = append(s.HasTarget, r.Bool())
+	}
+	n = int(r.U32())
+	if err := checkCount(r, n, "mover pause"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.PauseUntil = append(s.PauseUntil, time.Duration(r.I64()))
+	}
+	s.Epochs = r.Int()
+	s.LinkChanges = r.Int()
+	return s, r.Err()
+}
+
+func encodeScheduleState(w *snap.Writer, s failure.ScheduleState) {
+	w.U32(uint32(len(s.UpSince)))
+	for _, v := range s.UpSince {
+		w.I64(int64(v))
+	}
+	w.U32(uint32(len(s.UpTotal)))
+	for _, v := range s.UpTotal {
+		w.I64(int64(v))
+	}
+	w.U32(uint32(len(s.Killed)))
+	for _, id := range s.Killed {
+		w.Int(int(id))
+	}
+}
+
+func decodeScheduleState(r *snap.Reader) (failure.ScheduleState, error) {
+	var s failure.ScheduleState
+	n := int(r.U32())
+	if err := checkCount(r, n, "failure up-since"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.UpSince = append(s.UpSince, time.Duration(r.I64()))
+	}
+	n = int(r.U32())
+	if err := checkCount(r, n, "failure up-total"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.UpTotal = append(s.UpTotal, time.Duration(r.I64()))
+	}
+	n = int(r.U32())
+	if err := checkCount(r, n, "failure killed"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.Killed = append(s.Killed, topology.NodeID(r.Int()))
+	}
+	return s, r.Err()
+}
+
+func encodeMeterState(w *snap.Writer, s energy.MeterState) {
+	w.F64(s.TxJoules)
+	w.F64(s.RxJoules)
+	w.I64(int64(s.UpTime))
+	w.I64(int64(s.ActiveTime))
+	w.Int(s.TxPackets)
+	w.Int(s.RxPackets)
+}
+
+func decodeMeterState(r *snap.Reader) energy.MeterState {
+	return energy.MeterState{
+		TxJoules:   r.F64(),
+		RxJoules:   r.F64(),
+		UpTime:     time.Duration(r.I64()),
+		ActiveTime: time.Duration(r.I64()),
+		TxPackets:  r.Int(),
+		RxPackets:  r.Int(),
+	}
+}
+
+func encodeItemKeys(w *snap.Writer, keys []msg.ItemKey) {
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.Int(int(k.Source))
+		w.Int(k.Seq)
+	}
+}
+
+func decodeItemKeys(r *snap.Reader, what string) ([]msg.ItemKey, error) {
+	n := int(r.U32())
+	if err := checkCount(r, n, what); err != nil {
+		return nil, err
+	}
+	var keys []msg.ItemKey
+	for i := 0; i < n; i++ {
+		keys = append(keys, msg.ItemKey{Source: topology.NodeID(r.Int()), Seq: r.Int()})
+	}
+	return keys, r.Err()
+}
+
+func encodeCollectorState(w *snap.Writer, s metrics.CollectorState) {
+	encodeItemKeys(w, s.Generated)
+	w.U32(uint32(len(s.Delivered)))
+	for _, d := range s.Delivered {
+		w.Int(int(d.Sink))
+		encodeItemKeys(w, d.Keys)
+	}
+	w.I64(int64(s.DelaySum))
+	w.Int(s.DelayN)
+	w.U32(uint32(len(s.Delays)))
+	for _, d := range s.Delays {
+		w.I64(int64(d))
+	}
+	w.U32(uint32(len(s.Hops)))
+	for _, h := range s.Hops {
+		w.Int(h)
+	}
+	w.Int(s.FanMax)
+}
+
+func decodeCollectorState(r *snap.Reader) (metrics.CollectorState, error) {
+	var s metrics.CollectorState
+	var err error
+	if s.Generated, err = decodeItemKeys(r, "generated key"); err != nil {
+		return s, err
+	}
+	n := int(r.U32())
+	if err := checkCount(r, n, "sink delivery"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		d := metrics.SinkDeliveries{Sink: topology.NodeID(r.Int())}
+		if d.Keys, err = decodeItemKeys(r, "delivered key"); err != nil {
+			return s, err
+		}
+		s.Delivered = append(s.Delivered, d)
+	}
+	s.DelaySum = time.Duration(r.I64())
+	s.DelayN = r.Int()
+	n = int(r.U32())
+	if err := checkCount(r, n, "delay sample"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.Delays = append(s.Delays, time.Duration(r.I64()))
+	}
+	n = int(r.U32())
+	if err := checkCount(r, n, "hop sample"); err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		s.Hops = append(s.Hops, r.Int())
+	}
+	s.FanMax = r.Int()
+	return s, r.Err()
+}
+
+func encodeMetricStates(w *snap.Writer, states []obs.MetricState) {
+	w.U32(uint32(len(states)))
+	for _, s := range states {
+		w.String(s.Name)
+		w.String(s.Labels)
+		w.String(string(s.Kind))
+		w.F64(s.Value)
+		w.F64(s.Max)
+		w.I64(s.Count)
+		w.F64(s.Sum)
+		w.U32(uint32(len(s.Buckets)))
+		for _, b := range s.Buckets {
+			w.F64(b.Bound)
+			w.I64(b.Count)
+		}
+		w.Bool(s.GaugeSet)
+	}
+}
+
+func decodeMetricStates(r *snap.Reader) ([]obs.MetricState, error) {
+	n := int(r.U32())
+	if err := checkCount(r, n, "metric"); err != nil {
+		return nil, err
+	}
+	var states []obs.MetricState
+	for i := 0; i < n; i++ {
+		var s obs.MetricState
+		s.Name = r.String()
+		s.Labels = r.String()
+		s.Kind = obs.MetricKind(r.String())
+		s.Value = r.F64()
+		s.Max = r.F64()
+		s.Count = r.I64()
+		s.Sum = r.F64()
+		bn := int(r.U32())
+		if err := checkCount(r, bn, "histogram bucket"); err != nil {
+			return nil, err
+		}
+		for j := 0; j < bn; j++ {
+			s.Buckets = append(s.Buckets, obs.Bucket{Bound: r.F64(), Count: r.I64()})
+		}
+		s.GaugeSet = r.Bool()
+		states = append(states, s)
+	}
+	return states, r.Err()
+}

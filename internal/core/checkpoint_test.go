@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/diffusion"
+	"repro/internal/failure"
+	"repro/internal/obs"
+	"repro/internal/snap"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// normalizeOutput strips the physical wall-clock readings, which are the one
+// part of an output that legitimately differs between an uninterrupted run
+// and a kill/restore one.
+func normalizeOutput(o Output) Output {
+	o.Kernel.WallTime = 0
+	if o.Telemetry != nil {
+		tel := make([]obs.Metric, 0, len(o.Telemetry))
+		for _, m := range o.Telemetry {
+			if m.Name == "sim_wall_seconds" || m.Name == "sim_wall_per_virtual_second" {
+				continue
+			}
+			tel = append(tel, m)
+		}
+		o.Telemetry = tel
+	}
+	return o
+}
+
+// closedChan returns an already-closed interrupt channel, so the run stops
+// at its first checkpoint boundary — a deterministic mid-horizon kill.
+func closedChan() <-chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// runInterrupted runs cfg until the first checkpoint boundary and asserts it
+// left a snapshot behind.
+func runInterrupted(t *testing.T, cfg Config) {
+	t.Helper()
+	cfg.Interrupt = closedChan()
+	if _, err := Run(cfg); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run: want ErrInterrupted, got %v", err)
+	}
+	if _, err := os.Stat(cfg.CheckpointPath); err != nil {
+		t.Fatalf("no checkpoint after interrupt: %v", err)
+	}
+}
+
+// assertEquivalent compares a restored output against the uninterrupted
+// golden, field by field for readable failures.
+func assertEquivalent(t *testing.T, golden, got Output) {
+	t.Helper()
+	golden, got = normalizeOutput(golden), normalizeOutput(got)
+	gv, rv := reflect.ValueOf(golden), reflect.ValueOf(got)
+	for i := 0; i < gv.NumField(); i++ {
+		name := gv.Type().Field(i).Name
+		if !reflect.DeepEqual(gv.Field(i).Interface(), rv.Field(i).Interface()) {
+			t.Errorf("restored output field %s differs:\n golden: %+v\n restored: %+v",
+				name, gv.Field(i).Interface(), rv.Field(i).Interface())
+		}
+	}
+}
+
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Telemetry = &obs.Config{}
+	golden, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := cfg
+	ckpt.CheckpointPath = filepath.Join(t.TempDir(), "run.snap")
+	ckpt.CheckpointEvery = 10 * time.Second
+	runInterrupted(t, ckpt)
+
+	got, err := Restore(ckpt.CheckpointPath, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, golden, got)
+	if _, err := os.Stat(ckpt.CheckpointPath); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not removed after completed resume: %v", err)
+	}
+}
+
+func TestCheckpointResumeMobilityRepairBattery(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Seed = 7
+	cfg.Duration = 60 * time.Second
+	cfg.Mobility = topology.MobilityConfig{
+		Model:    topology.MobilityWaypoint,
+		Epoch:    time.Second,
+		SpeedMin: 1, SpeedMax: 3,
+		Pause: 2 * time.Second,
+	}
+	cfg.Diffusion.Repair = diffusion.DefaultRepairParams()
+	cfg.Diffusion.Repair.Enabled = true
+	cfg.BatteryJ = 5
+	cfg.Telemetry = &obs.Config{}
+	golden, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Repair == nil {
+		t.Fatal("repair stats missing from golden")
+	}
+
+	ckpt := cfg
+	ckpt.CheckpointPath = filepath.Join(t.TempDir(), "run.snap")
+	ckpt.CheckpointEvery = 25 * time.Second
+	runInterrupted(t, ckpt)
+
+	got, err := Restore(ckpt.CheckpointPath, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, golden, got)
+}
+
+// TestCheckpointDoubleResume kills the run at two successive boundaries: a
+// resume is itself checkpointed, so crash-durability composes.
+func TestCheckpointDoubleResume(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	golden, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := cfg
+	ckpt.CheckpointPath = filepath.Join(t.TempDir(), "run.snap")
+	ckpt.CheckpointEvery = 8 * time.Second
+	runInterrupted(t, ckpt)
+
+	again := ckpt
+	again.Interrupt = closedChan()
+	if _, err := Restore(again.CheckpointPath, again); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("second interrupt: want ErrInterrupted, got %v", err)
+	}
+
+	got, err := Restore(ckpt.CheckpointPath, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, golden, got)
+}
+
+// TestCheckpointTraceByteIdentical pins the NDJSON trace: the kill/restore
+// file must equal the uninterrupted one byte for byte, including the
+// truncation of records the killed slice had written past the snapshot.
+func TestCheckpointTraceByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Duration = 20 * time.Second
+	cfg.Telemetry = &obs.Config{SnapshotEvery: 5 * time.Second}
+
+	goldenPath := filepath.Join(dir, "golden.ndjson")
+	gt, err := trace.NewNDJSONFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := cfg
+	gcfg.Tracer = gt
+	if _, err := Run(gcfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := gt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumedPath := filepath.Join(dir, "resumed.ndjson")
+	rt1, err := trace.NewNDJSONFile(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := cfg
+	ckpt.Tracer = rt1
+	ckpt.CheckpointPath = filepath.Join(dir, "run.snap")
+	ckpt.CheckpointEvery = 7 * time.Second
+	runInterrupted(t, ckpt)
+	if err := rt1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, err := trace.ResumeNDJSONFile(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt.Tracer = rt2
+	if _, err := Restore(ckpt.CheckpointPath, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, resumed) {
+		t.Fatalf("trace files differ: golden %d bytes, resumed %d bytes", len(golden), len(resumed))
+	}
+}
+
+// TestSnapshotRoundTripByteIdentical is the whole-state property test:
+// encode → restore into a fresh build → re-encode must reproduce every
+// section byte for byte, across the MAC, diffusion, topology, failure,
+// energy, metrics, and obs layers at once.
+func TestSnapshotRoundTripByteIdentical(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Seed = 3
+	cfg.Duration = 60 * time.Second
+	cfg.Mobility = topology.MobilityConfig{
+		Model:    topology.MobilityWaypoint,
+		Epoch:    time.Second,
+		SpeedMin: 1, SpeedMax: 3,
+	}
+	cfg.Diffusion.Repair = diffusion.DefaultRepairParams()
+	cfg.Diffusion.Repair.Enabled = true
+	cfg.BatteryJ = 5
+	cfg.Telemetry = &obs.Config{}
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "run.snap")
+	cfg.CheckpointEvery = 15 * time.Second
+	runInterrupted(t, cfg)
+
+	sections, err := snap.ReadFile(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := buildRun(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.restoreFrom(sections); err != nil {
+		t.Fatal(err)
+	}
+	reencoded, err := st.snapshotSections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reencoded) != len(sections) {
+		t.Fatalf("re-encode produced %d sections, snapshot has %d", len(reencoded), len(sections))
+	}
+	for i, sec := range sections {
+		if reencoded[i].Name != sec.Name {
+			t.Fatalf("section %d name %q != %q", i, reencoded[i].Name, sec.Name)
+		}
+		if !bytes.Equal(reencoded[i].Data, sec.Data) {
+			t.Errorf("section %q not byte-identical after round-trip (%d vs %d bytes)",
+				sec.Name, len(sec.Data), len(reencoded[i].Data))
+		}
+	}
+}
+
+func TestCheckpointRemovedOnCompletion(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "run.snap")
+	cfg.CheckpointEvery = 10 * time.Second
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cfg.CheckpointPath); !os.IsNotExist(err) {
+		t.Errorf("checkpoint file survived a completed run: %v", err)
+	}
+}
+
+// TestShardedCheckpointRejected pins the documented rejection: sharded runs
+// do not checkpoint, and say so instead of silently not writing snapshots.
+func TestShardedCheckpointRejected(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.Shards = 2
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "run.snap")
+	cfg.CheckpointEvery = 10 * time.Second
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("sharded checkpoint run succeeded, want rejection")
+	}
+	if !strings.Contains(err.Error(), "sharded") {
+		t.Fatalf("rejection does not name sharding: %v", err)
+	}
+}
+
+func TestCheckpointEnvelopeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"shards", func(c *Config) { c.Shards = 2 }, "sharded"},
+		{"flooding", func(c *Config) { c.Scheme = SchemeFlooding }, "idealized"},
+		{"chaos", func(c *Config) { c.Chaos = &chaos.Config{} }, "chaos"},
+		{"churn", func(c *Config) {
+			c.Churn = failure.ChurnConfig{JoinFraction: 0.2, JoinWindow: 10 * time.Second}
+		}, "churn"},
+		{"failure waves", func(c *Config) {
+			c.Failures = &failure.Config{Fraction: 0.2, Wave: 10 * time.Second}
+		}, "failure waves"},
+		{"flight recorder", func(c *Config) { c.FlightPath = "flight.ndjson" }, "flight"},
+		{"non-resumable tracer", func(c *Config) { c.Tracer = trace.NewRecorder(0) }, "resume"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := quickCfg(SchemeGreedy)
+			tc.mut(&cfg)
+			err := CheckpointSupported(cfg)
+			if err == nil {
+				t.Fatal("want rejection, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("rejection %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsConfigMismatch(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "run.snap")
+	cfg.CheckpointEvery = 10 * time.Second
+	runInterrupted(t, cfg)
+
+	other := cfg
+	other.Seed = cfg.Seed + 1
+	_, err := Restore(cfg.CheckpointPath, other)
+	if err == nil {
+		t.Fatal("restore with different seed succeeded")
+	}
+	if !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("mismatch error: %v", err)
+	}
+}
+
+func TestRestoreRejectsCorruptedSnapshot(t *testing.T) {
+	cfg := quickCfg(SchemeGreedy)
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "run.snap")
+	cfg.CheckpointEvery = 10 * time.Second
+	runInterrupted(t, cfg)
+
+	data, err := os.ReadFile(cfg.CheckpointPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"flipped byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0xff
+			return c
+		}},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := filepath.Join(t.TempDir(), "bad.snap")
+			if err := os.WriteFile(bad, tc.mut(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Restore(bad, cfg); err == nil {
+				t.Fatal("restore of corrupted snapshot succeeded")
+			}
+		})
+	}
+}

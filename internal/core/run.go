@@ -194,6 +194,23 @@ type Config struct {
 	// runs accept a restricted feature envelope; see Output.Shards and
 	// DESIGN.md §8.
 	Shards int
+
+	// CheckpointPath, when non-empty, makes the run crash-durable: the event
+	// loop executes in slices of CheckpointEvery virtual time and atomically
+	// rewrites a restorable snapshot of the full deterministic state at each
+	// boundary (DESIGN.md §12). A run resumed from such a snapshot (Restore)
+	// finishes byte-identical to an uninterrupted one. Checkpointing accepts
+	// a restricted feature envelope; see CheckpointSupported. The file is
+	// removed when the run completes.
+	CheckpointPath string
+	// CheckpointEvery is the virtual-time slice length between snapshots.
+	// Required (positive) when CheckpointPath is set.
+	CheckpointEvery time.Duration
+	// Interrupt, when non-nil, is polled at each checkpoint boundary: once
+	// it is closed (or sent to), the run writes a final snapshot and returns
+	// ErrInterrupted instead of finishing — the graceful-shutdown path for
+	// SIGINT/SIGTERM. Only observed when CheckpointPath is set.
+	Interrupt <-chan struct{}
 }
 
 // DefaultConfig returns the paper's §5.1 methodology: a 200 m field, 40 m
@@ -244,6 +261,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: FlightCapacity set without FlightPath")
 	case c.Shards < 0:
 		return fmt.Errorf("core: negative shard count %d", c.Shards)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("core: negative checkpoint interval %v", c.CheckpointEvery)
+	case c.CheckpointPath != "" && c.CheckpointEvery == 0:
+		return fmt.Errorf("core: CheckpointPath set without CheckpointEvery")
+	case c.CheckpointEvery > 0 && c.CheckpointPath == "":
+		return fmt.Errorf("core: CheckpointEvery set without CheckpointPath")
 	}
 	if c.Shards > 1 {
 		if err := c.validateSharded(); err != nil {
@@ -371,14 +394,142 @@ type Lifetime struct {
 
 // Run executes one simulation and returns its metrics. Runs are
 // deterministic in (Config, Seed).
+//
+// When cfg.CheckpointPath is set the event loop runs in CheckpointEvery
+// slices with a restorable snapshot written atomically between them; see
+// checkpoint.go and DESIGN.md §12. Checkpointing accepts a restricted
+// feature envelope (CheckpointSupported) — in particular sharded runs are
+// rejected with a reason rather than silently un-checkpointed.
 func Run(cfg Config) (Output, error) {
 	if err := cfg.Validate(); err != nil {
 		return Output{}, err
 	}
+	if cfg.CheckpointPath != "" {
+		if err := CheckpointSupported(cfg); err != nil {
+			return Output{}, err
+		}
+	}
 	if cfg.Shards > 1 {
 		return runSharded(cfg)
 	}
-	wallStart := time.Now()
+	st, err := buildRun(cfg, false)
+	if err != nil {
+		return Output{}, err
+	}
+	return st.run()
+}
+
+// runState is one serial run's assembled substrate: everything buildRun
+// constructs before the event loop starts. The checkpoint layer snapshots it
+// between kernel slices, and Restore rebuilds it deterministically before
+// overlaying the recorded mutable state (DESIGN.md §12).
+type runState struct {
+	cfg       Config
+	wallStart time.Time
+	reg       *obs.Registry
+	kernel    *sim.Kernel
+	field     *topology.Field
+	assign    workload.Assignment
+	network   *mac.Network
+	collector *metrics.Collector
+	flight    *trace.FlightRecorder
+	engine    *chaos.Engine
+	rt        *diffusion.Runtime
+	flood     *idealized.Flooding
+	mcast     *idealized.Multicast
+	sched     *failure.Schedule
+	churn     *failure.Churn
+	mover     *topology.Mover
+	life      Lifetime
+
+	// Long-lived core event runners. Being named singletons (not closures)
+	// lets the checkpoint encoder record a pending occurrence by tag alone
+	// and a restore re-bind the event to the rebuilt instance.
+	epochR *mobilityEpoch
+	watchR *batteryWatch
+	tickR  *snapshotTick
+}
+
+// mobilityEpoch is the movement epoch timer as a stable runner: it advances
+// every mobile node, stamps a topology fault when the adjacency actually
+// changed, and re-arms itself.
+type mobilityEpoch struct {
+	kernel *sim.Kernel
+	mover  *topology.Mover
+	engine *chaos.Engine
+	every  time.Duration
+}
+
+// Run implements sim.Runner.
+func (e *mobilityEpoch) Run() {
+	changed := e.mover.Advance(e.kernel.Now(), e.kernel.Rand())
+	if changed > 0 && e.engine != nil {
+		e.engine.TopologyFault()
+	}
+	e.kernel.ScheduleRunner(e.every, e)
+}
+
+// batteryWatch is the once-per-virtual-second battery audit as a stable
+// runner: it permanently kills nodes whose dissipated energy (communication
+// plus the always-on idle draw) exceeds the budget.
+type batteryWatch struct {
+	kernel    *sim.Kernel
+	network   *mac.Network
+	sched     *failure.Schedule
+	protected map[topology.NodeID]bool
+	nodes     int
+	idlePower float64
+	budgetJ   float64
+	life      *Lifetime
+}
+
+// Run implements sim.Runner.
+func (b *batteryWatch) Run() {
+	idleSpent := b.idlePower * b.kernel.Now().Seconds()
+	for i := 0; i < b.nodes; i++ {
+		id := topology.NodeID(i)
+		if b.protected[id] || !b.network.On(id) {
+			continue
+		}
+		if b.network.Meter(id).CommJoules()+idleSpent >= b.budgetJ {
+			b.sched.Kill(id)
+			b.life.Deaths++
+			if b.life.FirstDeath == 0 {
+				b.life.FirstDeath = b.kernel.Now()
+			}
+		}
+	}
+	b.kernel.ScheduleRunner(time.Second, b)
+}
+
+// snapshotTick is the periodic protocol-state dump as a stable runner.
+// Snapshot events consume no randomness and only shift kernel sequence
+// numbers, so protocol outcomes are unchanged by snapshotting.
+type snapshotTick struct {
+	kernel *sim.Kernel
+	rt     snapshotter
+	sink   trace.SnapshotSink
+	every  time.Duration
+}
+
+// Run implements sim.Runner.
+func (t *snapshotTick) Run() {
+	for _, rec := range t.rt.Snapshot() {
+		t.sink.RecordSnapshot(rec)
+	}
+	t.kernel.ScheduleRunner(t.every, t)
+}
+
+// buildRun deterministically assembles a run from its configuration: field
+// generation, workload placement, the MAC, the scheme runtime, and the
+// auxiliary subsystems. With restoring=false it also arms the initial events,
+// leaving the run ready for execute. With restoring=true every Schedule and
+// Start call is skipped — the kernel stays empty so a checkpoint's recorded
+// events can be reinstalled at their exact (at, seq) positions — while the
+// structural random draws (field, placement, per-node protocol state) replay
+// identically because the statement order is shared between both modes.
+func buildRun(cfg Config, restoring bool) (*runState, error) {
+	st := &runState{cfg: cfg, wallStart: time.Now()}
 	var reg *obs.Registry
 	if cfg.Telemetry != nil {
 		if reg = cfg.Telemetry.Registry; reg == nil {
@@ -401,21 +552,21 @@ func Run(cfg Config) (Output, error) {
 			Area: area, Nodes: cfg.Nodes, Range: cfg.Range,
 		}, kernel.Rand())
 		if err != nil {
-			return Output{}, err
+			return nil, err
 		}
 		assign, err = workload.Place(field, cfg.Workload, kernel.Rand())
 		if err == nil {
 			break
 		}
 		if try+1 >= cfg.MaxPlacementTries {
-			return Output{}, fmt.Errorf("core: no usable placement after %d tries: %w",
+			return nil, fmt.Errorf("core: no usable placement after %d tries: %w",
 				cfg.MaxPlacementTries, err)
 		}
 	}
 
 	network, err := mac.New(kernel, field, cfg.Energy, cfg.MAC)
 	if err != nil {
-		return Output{}, err
+		return nil, err
 	}
 
 	collector := metrics.NewCollector(0, cfg.Duration-cfg.DrainTail, kernel.Now)
@@ -442,7 +593,7 @@ func Run(cfg Config) (Output, error) {
 	if cfg.Chaos != nil {
 		engine, err = chaos.New(kernel, network, field, *cfg.Chaos)
 		if err != nil {
-			return Output{}, err
+			return nil, err
 		}
 		observer = engine.WrapObserver(collector)
 		if flight != nil {
@@ -466,25 +617,25 @@ func Run(cfg Config) (Output, error) {
 		flood, err = idealized.NewFlooding(kernel, network, field, idealizedParams(cfg),
 			idealized.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, observer)
 		if err != nil {
-			return Output{}, err
+			return nil, err
 		}
 		startRun = flood.Start
 	case SchemeOmniscient:
 		mcast, err = idealized.NewMulticast(kernel, network, field, idealizedParams(cfg),
 			idealized.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, observer)
 		if err != nil {
-			return Output{}, err
+			return nil, err
 		}
 		startRun = mcast.Start
 	default:
 		strategy, serr := cfg.Scheme.Strategy()
 		if serr != nil {
-			return Output{}, serr
+			return nil, serr
 		}
 		rt, err = diffusion.New(kernel, network, field, cfg.Diffusion, strategy,
 			diffusion.Roles{Sinks: assign.Sinks, Sources: assign.Sources}, observer)
 		if err != nil {
-			return Output{}, err
+			return nil, err
 		}
 		tracer := userTracer
 		if engine != nil {
@@ -517,8 +668,12 @@ func Run(cfg Config) (Output, error) {
 				snapSink = flight
 			}
 		}
-		if snapSink != nil && cfg.Telemetry != nil {
-			scheduleSnapshots(kernel, rt, snapSink, cfg.Telemetry.SnapshotEvery)
+		if snapSink != nil && cfg.Telemetry != nil && cfg.Telemetry.SnapshotEvery > 0 {
+			st.tickR = &snapshotTick{kernel: kernel, rt: rt, sink: snapSink,
+				every: cfg.Telemetry.SnapshotEvery}
+			if !restoring {
+				kernel.ScheduleRunner(st.tickR.every, st.tickR)
+			}
 		}
 		startRun = rt.Start
 	}
@@ -535,7 +690,7 @@ func Run(cfg Config) (Output, error) {
 	}
 	sched, err := failure.New(kernel, network, field.Len(), fcfg)
 	if err != nil {
-		return Output{}, err
+		return nil, err
 	}
 
 	if engine != nil {
@@ -567,17 +722,13 @@ func Run(cfg Config) (Output, error) {
 		}
 		mover, err = topology.NewMover(field, cfg.Mobility, pinned)
 		if err != nil {
-			return Output{}, err
+			return nil, err
 		}
-		var epoch func()
-		epoch = func() {
-			changed := mover.Advance(kernel.Now(), kernel.Rand())
-			if changed > 0 && engine != nil {
-				engine.TopologyFault()
-			}
-			kernel.Schedule(cfg.Mobility.Epoch, epoch)
+		st.epochR = &mobilityEpoch{kernel: kernel, mover: mover, engine: engine,
+			every: cfg.Mobility.Epoch}
+		if !restoring {
+			kernel.ScheduleRunner(cfg.Mobility.Epoch, st.epochR)
 		}
-		kernel.Schedule(cfg.Mobility.Epoch, epoch)
 	}
 
 	// Churn: joiners cold-boot with wiped soft state (and a reset invariant
@@ -587,7 +738,7 @@ func Run(cfg Config) (Output, error) {
 	if cfg.Churn.Enabled() {
 		churn, err = failure.NewChurn(kernel, sched, cfg.Churn)
 		if err != nil {
-			return Output{}, err
+			return nil, err
 		}
 		churn.SetOnJoin(func(id topology.NodeID) {
 			if rt != nil {
@@ -604,47 +755,56 @@ func Run(cfg Config) (Output, error) {
 		}
 	}
 
-	var life Lifetime
 	if cfg.BatteryJ > 0 {
 		protected := make(map[topology.NodeID]bool, len(fcfg.Protect))
 		for _, id := range fcfg.Protect {
 			protected[id] = true
 		}
-		var watch func()
-		watch = func() {
-			idleSpent := cfg.Energy.IdlePower * kernel.Now().Seconds()
-			for i := 0; i < field.Len(); i++ {
-				id := topology.NodeID(i)
-				if protected[id] || !network.On(id) {
-					continue
-				}
-				if network.Meter(id).CommJoules()+idleSpent >= cfg.BatteryJ {
-					sched.Kill(id)
-					life.Deaths++
-					if life.FirstDeath == 0 {
-						life.FirstDeath = kernel.Now()
-					}
-				}
-			}
-			kernel.Schedule(time.Second, watch)
+		st.watchR = &batteryWatch{kernel: kernel, network: network, sched: sched,
+			protected: protected, nodes: field.Len(),
+			idlePower: cfg.Energy.IdlePower, budgetJ: cfg.BatteryJ, life: &st.life}
+		if !restoring {
+			kernel.ScheduleRunner(time.Second, st.watchR)
 		}
-		kernel.Schedule(time.Second, watch)
 	}
 
-	startRun()
-	sched.Start()
-	if churn != nil {
-		churn.Start()
+	if !restoring {
+		startRun()
+		sched.Start()
+		if churn != nil {
+			churn.Start()
+		}
+		if engine != nil {
+			engine.Start()
+		}
 	}
-	if engine != nil {
-		engine.Start()
+
+	st.reg, st.kernel, st.field, st.assign = reg, kernel, field, assign
+	st.network, st.collector, st.flight, st.engine = network, collector, flight, engine
+	st.rt, st.flood, st.mcast = rt, flood, mcast
+	st.sched, st.churn, st.mover = sched, churn, mover
+	return st, nil
+}
+
+// run executes the event loop (checkpoint-sliced when configured; see
+// checkpoint.go) and finalizes the output.
+func (st *runState) run() (Output, error) {
+	if err := st.execute(); err != nil {
+		return Output{}, err
 	}
-	if flight != nil {
-		runGuarded(kernel, cfg.Duration, flight, cfg.FlightPath)
-	} else {
-		kernel.Run(cfg.Duration)
-	}
-	sched.Finish()
+	return st.finish()
+}
+
+// finish tears the run down and assembles its Output. It runs exactly once,
+// after the event loop has reached the horizon.
+func (st *runState) finish() (Output, error) {
+	cfg, kernel, field := st.cfg, st.kernel, st.field
+	network, collector, assign := st.network, st.collector, st.assign
+	engine, rt, flood, mcast := st.engine, st.rt, st.flood, st.mcast
+	mover, churn, reg, flight := st.mover, st.churn, st.reg, st.flight
+	life, wallStart := st.life, st.wallStart
+
+	st.sched.Finish()
 
 	var report *chaos.Report
 	if engine != nil {

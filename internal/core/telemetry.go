@@ -84,25 +84,6 @@ func installDropHook(network *mac.Network, kernel *sim.Kernel, tracer diffusion.
 	})
 }
 
-// scheduleSnapshots arms the periodic protocol-state dump: every interval of
-// virtual time, the runtime's full snapshot goes to the sink. Snapshot
-// events consume no randomness and only shift kernel sequence numbers, so
-// protocol outcomes are unchanged by snapshotting.
-func scheduleSnapshots(kernel *sim.Kernel, rt snapshotter, sink trace.SnapshotSink,
-	every time.Duration) {
-	if rt == nil || sink == nil || every <= 0 {
-		return
-	}
-	var tick func()
-	tick = func() {
-		for _, rec := range rt.Snapshot() {
-			sink.RecordSnapshot(rec)
-		}
-		kernel.Schedule(every, tick)
-	}
-	kernel.Schedule(every, tick)
-}
-
 // snapshotter is the slice of diffusion.Runtime the snapshot scheduler needs.
 type snapshotter interface {
 	Snapshot() []trace.SnapshotRecord

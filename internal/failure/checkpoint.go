@@ -1,0 +1,49 @@
+package failure
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// ScheduleState is a schedule's mutable accounting for checkpoint/restore
+// (DESIGN.md §12). The checkpoint envelope rejects runs with an active wave
+// process (Fraction > 0 — its rescheduling closure is not snapshot-visible),
+// so Down and Waves are always empty/zero here; what remains is the battery
+// path: up-time accounting and the permanently killed set.
+type ScheduleState struct {
+	UpSince []time.Duration
+	UpTotal []time.Duration
+	Killed  []topology.NodeID
+}
+
+// State captures the schedule's accounting.
+func (s *Schedule) State() ScheduleState {
+	return ScheduleState{
+		UpSince: append([]time.Duration(nil), s.upSince...),
+		UpTotal: append([]time.Duration(nil), s.upTotal...),
+		Killed:  append([]topology.NodeID(nil), s.killed...),
+	}
+}
+
+// RestoreState overwrites the schedule's accounting with a captured state,
+// rebuilding the dead set from the kill order. The caller is responsible for
+// the network-side power state (mac restore re-applies per-node on/off).
+func (s *Schedule) RestoreState(st ScheduleState) error {
+	if len(st.UpSince) != s.nodes || len(st.UpTotal) != s.nodes {
+		return fmt.Errorf("failure: restore %d/%d intervals into %d-node schedule",
+			len(st.UpSince), len(st.UpTotal), s.nodes)
+	}
+	s.upSince = append(s.upSince[:0], st.UpSince...)
+	s.upTotal = append(s.upTotal[:0], st.UpTotal...)
+	s.killed = append(s.killed[:0], st.Killed...)
+	s.dead = make(map[topology.NodeID]bool, len(st.Killed))
+	for _, id := range st.Killed {
+		if int(id) < 0 || int(id) >= s.nodes {
+			return fmt.Errorf("failure: restored kill of out-of-range node %d", id)
+		}
+		s.dead[id] = true
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// WriteCSV renders one table artifact (a Table.CSV-shaped producer) into
+// dir/name atomically: the rows are buffered in memory, written to a
+// same-directory temp file, fsynced, and renamed into place. A sweep killed
+// mid-write therefore never leaves a truncated results CSV that looks
+// complete — the file either has every row or does not exist.
+func WriteCSV(dir, name string, write func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	return obs.WriteFileAtomic(filepath.Join(dir, name), buf.Bytes())
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// checkpointCell is a small in-envelope cell for the durability tests.
+func checkpointCell() (cellID, core.Config) {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 50
+	cfg.Seed = 5
+	cfg.Duration = 40 * time.Second
+	return cellID{figure: "test", series: "greedy", x: 50, field: 0}, cfg
+}
+
+// TestRunDurableCheckpointResume checks the per-cell crash-durability
+// contract: an interrupted cell leaves a checkpoint behind, and a second
+// sweep over the same directory resumes it to the exact result an
+// uninterrupted run produces, then cleans the checkpoint up.
+func TestRunDurableCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	id, cfg := checkpointCell()
+
+	golden, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A pre-closed interrupt stops the run at its first checkpoint boundary.
+	interrupt := make(chan struct{})
+	close(interrupt)
+	o := Options{CheckpointDir: dir, CheckpointEvery: 10 * time.Second, Interrupt: interrupt}
+	if _, err := runDurable(o, id, cfg); !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("interrupted cell returned %v, want core.ErrInterrupted", err)
+	}
+	snapPath := filepath.Join(dir, id.snapName())
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("no checkpoint after interrupt: %v", err)
+	}
+
+	o.Interrupt = nil
+	out, err := runDurable(o, id, cfg)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(out.Metrics, golden.Metrics) {
+		t.Fatalf("resumed metrics differ from uninterrupted run:\n got %+v\nwant %+v",
+			out.Metrics, golden.Metrics)
+	}
+	if !reflect.DeepEqual(out.Sent, golden.Sent) {
+		t.Fatalf("resumed sent counts differ:\n got %v\nwant %v", out.Sent, golden.Sent)
+	}
+	if out.Kernel.Events != golden.Kernel.Events {
+		t.Fatalf("resumed run fired %d events, uninterrupted %d",
+			out.Kernel.Events, golden.Kernel.Events)
+	}
+	if _, err := os.Stat(snapPath); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not removed after clean completion (stat: %v)", err)
+	}
+}
+
+// TestRunDurableDiscardsCorruptCheckpoint checks the fallback: an unreadable
+// snapshot is reported, deleted, and the cell re-runs from scratch instead
+// of failing the sweep.
+func TestRunDurableDiscardsCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	id, cfg := checkpointCell()
+	snapPath := filepath.Join(dir, id.snapName())
+	if err := os.WriteFile(snapPath, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	golden, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []string
+	o := Options{
+		CheckpointDir:   dir,
+		CheckpointEvery: 10 * time.Second,
+		Progress:        func(s string) { lines = append(lines, s) },
+	}
+	out, err := runDurable(o, id, cfg)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint failed the cell: %v", err)
+	}
+	if !reflect.DeepEqual(out.Metrics, golden.Metrics) {
+		t.Fatalf("fresh fallback run differs from golden:\n got %+v\nwant %+v",
+			out.Metrics, golden.Metrics)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "discarding unusable checkpoint") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no progress line about the discarded checkpoint: %q", lines)
+	}
+}
+
+// TestSweepInterrupted checks the graceful-stop contract at the sweep level:
+// with the interrupt already raised, no cell starts and the sweep surfaces
+// core.ErrInterrupted for the caller's exit-130 path.
+func TestSweepInterrupted(t *testing.T) {
+	interrupt := make(chan struct{})
+	close(interrupt)
+	o := ledgerOptions("", nil)
+	o.Interrupt = interrupt
+	if _, err := Fig5(o); !errors.Is(err, core.ErrInterrupted) {
+		t.Fatalf("interrupted sweep returned %v, want core.ErrInterrupted", err)
+	}
+}
+
+// TestOptionsValidateCheckpoint pins the CheckpointDir/CheckpointEvery
+// pairing rule.
+func TestOptionsValidateCheckpoint(t *testing.T) {
+	o := QuickOptions()
+	o.CheckpointDir = t.TempDir()
+	if err := o.validate(); err == nil {
+		t.Fatal("CheckpointDir without CheckpointEvery accepted")
+	}
+	o.CheckpointEvery = time.Second
+	if err := o.validate(); err != nil {
+		t.Fatalf("valid checkpoint options rejected: %v", err)
+	}
+}

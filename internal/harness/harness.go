@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +19,16 @@ import (
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// interrupted reports whether the optional interrupt channel has been closed.
+func interrupted(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
 
 // Options controls how much work a figure regeneration does.
 type Options struct {
@@ -65,6 +76,22 @@ type Options struct {
 	// path instead of failing the sweep. Workers is clamped so
 	// jobs × shards never exceeds GOMAXPROCS; see workers.
 	Shards int
+	// CheckpointDir, when non-empty, arms crash durability: every cell
+	// inside the checkpoint envelope (core.CheckpointSupported) writes a
+	// periodic snapshot into this directory and, on a later sweep over the
+	// same directory, resumes mid-cell from it. Cells outside the envelope
+	// run fresh — determinism makes a re-run equivalent to a resume.
+	// Requires CheckpointEvery.
+	CheckpointDir string
+	// CheckpointEvery is the virtual-time interval between snapshots for
+	// checkpointed cells. Required when CheckpointDir is set.
+	CheckpointEvery time.Duration
+	// Interrupt, when non-nil and closed, requests a graceful stop: cells
+	// not yet started are skipped, in-flight checkpointed cells drain to the
+	// next snapshot boundary and write a final checkpoint, in-flight
+	// uncheckpointed cells finish and land in the ledger, and the sweep
+	// returns an error wrapping core.ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 // DefaultOptions reproduces the paper's methodology (10 fields per point).
@@ -99,6 +126,8 @@ func (o Options) validate() error {
 		return fmt.Errorf("harness: negative worker count")
 	case o.Shards < 0:
 		return fmt.Errorf("harness: negative shard count")
+	case o.CheckpointDir != "" && o.CheckpointEvery <= 0:
+		return fmt.Errorf("harness: CheckpointDir set without a positive CheckpointEvery")
 	default:
 		return nil
 	}
@@ -270,6 +299,9 @@ func (m *RunMeta) Manifest(figure string, schemes []string, xs []int) *obs.Manif
 		PeakMemBytes:    obs.PeakMemoryBytes(),
 		TelemetryDigest: obs.Digest(m.Telemetry),
 		Metrics:         m.Telemetry,
+		// A manifest is only built once its table exists, i.e. after every
+		// cell of the sweep completed; partial sweeps never get this far.
+		Complete: true,
 	}
 }
 
@@ -373,6 +405,12 @@ func sweep(o Options, id, title, xlabel string, schemes []core.Scheme, xs []int,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// An interrupt stops the sweep from launching further cells;
+			// cells already past this point drain gracefully inside runCell.
+			if interrupted(o.Interrupt) {
+				results[i] = result{job: jobs[i], err: core.ErrInterrupted}
+				return
+			}
 			j := jobs[i]
 			cid := cellID{figure: id, series: j.scheme.String(), x: xs[j.xIdx], field: j.field}
 			out, err := runCell(o, led, tr, cid, j.cfg)
@@ -383,6 +421,11 @@ func sweep(o Options, id, title, xlabel string, schemes []core.Scheme, xs []int,
 
 	meta := newMetaCollector(o)
 	for _, r := range results {
+		if errors.Is(r.err, core.ErrInterrupted) {
+			// Not a cell failure: completed cells are on the ledger and
+			// partial ones have checkpoints, so the caller can resume.
+			return nil, fmt.Errorf("harness: %s interrupted: %w", id, core.ErrInterrupted)
+		}
 		if r.err != nil {
 			return nil, fmt.Errorf("harness: %s %v x-index %d field %d: %w",
 				id, r.job.scheme, r.job.xIdx, r.job.field, r.err)

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -130,12 +131,19 @@ func (l *Ledger) Loaded() int {
 	return l.loaded
 }
 
-// Close flushes and closes the ledger file.
+// Close fsyncs and closes the ledger file. The sync makes a graceful
+// shutdown durable: every recorded cell survives a power cut immediately
+// after exit, not just a process death.
 func (l *Ledger) Close() error {
 	if l == nil {
 		return nil
 	}
-	return l.file.Close()
+	serr := l.file.Sync()
+	cerr := l.file.Close()
+	if serr != nil {
+		return fmt.Errorf("harness: sync ledger: %w", serr)
+	}
+	return cerr
 }
 
 // lookup returns the recorded summary for a cell, if one exists and was
@@ -247,6 +255,12 @@ func (id cellID) flightName() string {
 	return fmt.Sprintf("%s_%s_x%d_f%d.flight.ndjson", id.figure, series, id.x, id.field)
 }
 
+// snapName is the per-cell checkpoint filename under Options.CheckpointDir.
+func (id cellID) snapName() string {
+	series := strings.NewReplacer("/", "-", "=", "-").Replace(id.series)
+	return fmt.Sprintf("%s_%s_x%d_f%d.snap", id.figure, series, id.x, id.field)
+}
+
 // runCell executes one sweep cell through the ledger: a matching recorded
 // entry replays without simulating; otherwise the run executes and its
 // summary is appended. Fresh runs feed Options.OnRun, and both paths emit
@@ -267,7 +281,7 @@ func runCell(o Options, led *Ledger, tr *progressTracker, id cellID, cfg core.Co
 		cc.SelfTestViolation = o.SelfTestViolation
 		cfg.Chaos = &cc
 	}
-	out, err := core.Run(cfg)
+	out, err := runDurable(o, id, cfg)
 	if err != nil {
 		return LedgerOutput{}, err
 	}
@@ -287,4 +301,40 @@ func runCell(o Options, led *Ledger, tr *progressTracker, id cellID, cfg core.Co
 			lo.Kernel.Events, lo.Kernel.EventsPerSec(), tr.note(false, lo.Kernel.WallTime)))
 	}
 	return lo, nil
+}
+
+// runDurable executes one fresh cell, adding crash durability when
+// Options.CheckpointDir is set and the cell is inside the checkpoint
+// envelope: a snapshot left behind by an earlier interrupted or killed sweep
+// resumes mid-run, and periodic checkpoints plus the interrupt channel make
+// this run resumable in turn. Cells outside the envelope (idealized schemes,
+// chaos, churn, sharded) run fresh — the run is deterministic, so a re-run
+// is observationally identical to a resume. A snapshot that fails to restore
+// (corrupted, or written under different options) is discarded and the cell
+// re-runs from scratch.
+func runDurable(o Options, id cellID, cfg core.Config) (core.Output, error) {
+	if o.CheckpointDir == "" || core.CheckpointSupported(cfg) != nil {
+		return core.Run(cfg)
+	}
+	cfg.CheckpointPath = filepath.Join(o.CheckpointDir, id.snapName())
+	cfg.CheckpointEvery = o.CheckpointEvery
+	cfg.Interrupt = o.Interrupt
+	if _, err := os.Stat(cfg.CheckpointPath); err == nil {
+		out, err := core.Restore(cfg.CheckpointPath, cfg)
+		if err == nil && o.Progress != nil {
+			o.Progress(fmt.Sprintf("%s %s x=%d field=%d resumed from checkpoint",
+				id.figure, id.series, id.x, id.field))
+		}
+		if err == nil || errors.Is(err, core.ErrInterrupted) {
+			return out, err
+		}
+		if o.Progress != nil {
+			o.Progress(fmt.Sprintf("%s %s x=%d field=%d: discarding unusable checkpoint: %v",
+				id.figure, id.series, id.x, id.field, err))
+		}
+		if err := os.Remove(cfg.CheckpointPath); err != nil {
+			return core.Output{}, fmt.Errorf("harness: remove unusable checkpoint: %w", err)
+		}
+	}
+	return core.Run(cfg)
 }

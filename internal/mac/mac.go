@@ -318,7 +318,7 @@ type Network struct {
 	self  uint8
 	// energy and nodes are struct-of-arrays slabs: one contiguous value
 	// slice each, allocated once at field size and never grown, so interior
-	// pointers (&n.nodes[i] captured by senseFn closures and transmission
+	// pointers (&n.nodes[i] held by sense runners and transmission
 	// owner/peer fields, &n.energy[i] returned by Meter) stay valid for the
 	// network's lifetime while per-node overhead drops to zero pointers.
 	energy  []energy.Meter
@@ -350,11 +350,22 @@ type nodeState struct {
 	// airtime is only known at delivery overlapped anything local.
 	busyUntil time.Duration
 
-	// senseFn is the node's prebuilt carrier-sense callback; every
-	// contention wait schedules this same closure instead of capturing a
-	// fresh one per backoff.
-	senseFn sim.Handler
+	// sense is the node's prebuilt carrier-sense step; every contention
+	// wait schedules this same runner record instead of capturing a fresh
+	// closure per backoff, which also keeps pending backoffs identifiable
+	// for checkpoint snapshots (DESIGN.md §12).
+	sense senseEvent
 }
+
+// senseEvent is a node's carrier-sense wake-up, dispatched as a permanent
+// per-node sim.Runner.
+type senseEvent struct {
+	net *Network
+	ns  *nodeState
+}
+
+// Run implements sim.Runner.
+func (s *senseEvent) Run() { s.net.senseAndSend(s.ns) }
 
 type outFrame struct {
 	to       topology.NodeID
@@ -529,7 +540,7 @@ func New(kernel *sim.Kernel, field *topology.Field, model energy.Model, params P
 		ns.id = topology.NodeID(i)
 		ns.on = true
 		ns.cw = params.CWMin
-		ns.senseFn = func() { n.senseAndSend(ns) }
+		ns.sense = senseEvent{net: n, ns: ns}
 	}
 	return n, nil
 }
@@ -721,7 +732,7 @@ func (n *Network) startContention(ns *nodeState) {
 	n.stats.Backoffs++
 	slots := n.rng.Intn(ns.cw)
 	wait := n.params.DIFS + time.Duration(slots)*n.params.SlotTime
-	n.kernel.Schedule(wait, ns.senseFn)
+	n.kernel.ScheduleRunner(wait, &ns.sense)
 }
 
 func (n *Network) senseAndSend(ns *nodeState) {
@@ -733,7 +744,7 @@ func (n *Network) senseAndSend(ns *nodeState) {
 		// Medium busy: back off again with the same window.
 		n.stats.Backoffs++
 		slots := n.rng.Intn(ns.cw) + 1
-		n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, ns.senseFn)
+		n.kernel.ScheduleRunner(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, &ns.sense)
 		return
 	}
 	of := ns.queue[0]
@@ -1092,7 +1103,7 @@ func (n *Network) ackTimeout(ns *nodeState, of *outFrame) {
 	ns.sending = true
 	n.stats.Backoffs++
 	slots := n.rng.Intn(ns.cw) + 1
-	n.kernel.Schedule(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, ns.senseFn)
+	n.kernel.ScheduleRunner(time.Duration(slots)*n.params.SlotTime+n.params.DIFS, &ns.sense)
 }
 
 // dequeueAndContinue pops the completed head frame and starts contention for

@@ -1,0 +1,61 @@
+package msg
+
+import (
+	"repro/internal/snap"
+	"repro/internal/topology"
+)
+
+// EncodeMessage appends m's binary form to w, for checkpoint snapshots
+// (DESIGN.md §12). The encoding is canonical: equal messages encode to equal
+// bytes.
+func EncodeMessage(w *snap.Writer, m Message) {
+	w.Int(int(m.Kind))
+	w.Int(int(m.Interest))
+	w.U64(uint64(m.ID))
+	w.Int(int(m.Origin))
+	w.Int(m.E)
+	w.Int(m.C)
+	w.Int(m.W)
+	w.Int(m.Bytes)
+	w.U32(uint32(len(m.Items)))
+	for _, it := range m.Items {
+		w.Int(int(it.Source))
+		w.Int(it.Seq)
+		w.I64(it.GenTime)
+		w.U32(uint32(it.Hops))
+		w.U32(uint32(it.FanIn))
+	}
+}
+
+// DecodeMessage reads a message encoded by EncodeMessage. The decoded Items
+// slice is always private (copy-on-write sharing between the original
+// messages is not reconstructed; the sharing invariant makes the copies
+// equivalent — shared item arrays are immutable).
+func DecodeMessage(r *snap.Reader) Message {
+	var m Message
+	m.Kind = Kind(r.Int())
+	m.Interest = InterestID(r.Int())
+	m.ID = MsgID(r.U64())
+	m.Origin = topology.NodeID(r.Int())
+	m.E = r.Int()
+	m.C = r.Int()
+	m.W = r.Int()
+	m.Bytes = r.Int()
+	n := int(r.U32())
+	if r.Err() != nil || n > r.Remaining() {
+		return m
+	}
+	if n > 0 {
+		m.Items = make([]Item, n)
+		for i := range m.Items {
+			m.Items[i] = Item{
+				Source:  topology.NodeID(r.Int()),
+				Seq:     r.Int(),
+				GenTime: r.I64(),
+				Hops:    uint16(r.U32()),
+				FanIn:   uint16(r.U32()),
+			}
+		}
+	}
+	return m
+}

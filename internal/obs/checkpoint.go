@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MetricState is one metric's exact mutable state for checkpoint/restore.
+// It extends the Snapshot form with the gauge's private set flag, which
+// Snapshot cannot express (a never-set gauge and one Set to 0 snapshot
+// identically but behave differently on the next Set) — checkpoints must
+// restore the distinction exactly.
+type MetricState struct {
+	Metric
+	GaugeSet bool
+}
+
+// CheckpointState freezes the registry's exact state, sorted by metric key.
+// Unlike Snapshot, the result round-trips losslessly through
+// RestoreCheckpointState.
+func (r *Registry) CheckpointState() []MetricState {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	out := make([]MetricState, len(snap))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, m := range snap {
+		out[i] = MetricState{Metric: m}
+		if m.Kind == KindGauge {
+			out[i].GaugeSet = r.gauges[m.key()].set
+		}
+	}
+	return out
+}
+
+// RestoreCheckpointState overwrites the registry's metrics with a captured
+// state: existing handles keep their identity (instrument pointers held by
+// rebuilt subsystems stay valid) and get their values replaced; metrics not
+// yet registered are created. Metrics present in the registry but absent
+// from the state are reset to zero, so a rebuilt registry that pre-created
+// handles ends up exactly at the checkpointed state.
+func (r *Registry) RestoreCheckpointState(state []MetricState) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(state))
+	for _, ms := range state {
+		key := ms.key()
+		seen[key] = true
+		if have, ok := r.names[key]; ok && have.Kind != ms.Kind {
+			return fmt.Errorf("obs: restore %s: kind %s vs %s", key, ms.Kind, have.Kind)
+		}
+		switch ms.Kind {
+		case KindCounter:
+			c := r.counterLocked(ms.Name, parseLabels(ms.Labels))
+			c.v = int64(ms.Value)
+		case KindGauge:
+			g := r.gaugeLocked(ms.Name, parseLabels(ms.Labels))
+			g.v, g.max, g.set = ms.Value, ms.Max, ms.GaugeSet
+		case KindHistogram:
+			bounds := make([]float64, 0, len(ms.Buckets))
+			for _, b := range ms.Buckets {
+				if b.Bound != infBound {
+					bounds = append(bounds, b.Bound)
+				}
+			}
+			h := r.histogramLocked(ms.Name, bounds, parseLabels(ms.Labels))
+			if len(h.counts) != len(ms.Buckets) {
+				return fmt.Errorf("obs: restore %s: %d buckets vs %d", key, len(ms.Buckets), len(h.counts))
+			}
+			for i, b := range ms.Buckets {
+				if i < len(h.bounds) && h.bounds[i] != b.Bound {
+					return fmt.Errorf("obs: restore %s: bound %g vs %g", key, b.Bound, h.bounds[i])
+				}
+				h.counts[i] = b.Count
+			}
+			h.sum, h.n = ms.Sum, ms.Count
+		default:
+			return fmt.Errorf("obs: restore %s: unknown kind %q", key, ms.Kind)
+		}
+	}
+	// Zero anything the rebuild registered that the checkpoint predates.
+	keys := make([]string, 0, len(r.names))
+	for k := range r.names {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		switch r.names[key].Kind {
+		case KindCounter:
+			r.counters[key].v = 0
+		case KindGauge:
+			g := r.gauges[key]
+			g.v, g.max, g.set = 0, 0, false
+		case KindHistogram:
+			h := r.hists[key]
+			for i := range h.counts {
+				h.counts[i] = 0
+			}
+			h.sum, h.n = 0, 0
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 )
 
@@ -53,15 +54,50 @@ type Manifest struct {
 	// both are empty when the sweep ran without telemetry.
 	TelemetryDigest string   `json:"telemetry_digest,omitempty"`
 	Metrics         []Metric `json:"metrics,omitempty"`
+
+	// Complete marks a manifest written after its sweep finished. Manifests
+	// land atomically (temp file + rename), so a file that exists at all was
+	// fully written; the field lets downstream consumers assert the sweep
+	// behind it ran to completion rather than being a partial artifact.
+	Complete bool `json:"complete"`
 }
 
-// Write marshals the manifest as indented JSON to path.
+// Write marshals the manifest as indented JSON to path. The write is atomic
+// — temp file in the same directory, fsync, rename — so a crash mid-write
+// never leaves a truncated manifest that parses as complete.
 func (m *Manifest) Write(path string) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("obs: marshal manifest: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteFileAtomic(path, append(data, '\n'))
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file, fsync,
+// and rename, so readers only ever observe the old content or the complete
+// new content — never a truncation.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // ReadManifest loads a manifest written by Write.

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCountingSourceStreamIdentical pins the checkpoint wrapper's core
+// contract: wrapping the source in a draw counter must not perturb the
+// stream, or every existing (seed, config) golden would shift.
+func TestCountingSourceStreamIdentical(t *testing.T) {
+	plain := rand.New(rand.NewSource(7))
+	wrapped := NewKernel(7).Rand()
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := plain.Int63(), wrapped.Int63(); a != b {
+				t.Fatalf("Int63 diverged at %d: %d vs %d", i, a, b)
+			}
+		case 1:
+			if a, b := plain.Uint64(), wrapped.Uint64(); a != b {
+				t.Fatalf("Uint64 diverged at %d: %d vs %d", i, a, b)
+			}
+		case 2:
+			if a, b := plain.Intn(1000), wrapped.Intn(1000); a != b {
+				t.Fatalf("Intn diverged at %d: %d vs %d", i, a, b)
+			}
+		case 3:
+			if a, b := plain.Float64(), wrapped.Float64(); a != b {
+				t.Fatalf("Float64 diverged at %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestForwardRand(t *testing.T) {
+	k1 := NewKernel(42)
+	for i := 0; i < 137; i++ {
+		if i%3 == 0 {
+			k1.Rand().Uint64()
+		} else {
+			k1.Rand().Int63()
+		}
+	}
+	target := k1.RandDraws()
+
+	k2 := NewKernel(42)
+	if err := k2.ForwardRand(target); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := k1.Rand().Int63(), k2.Rand().Int63(); a != b {
+			t.Fatalf("stream diverged after fast-forward at %d", i)
+		}
+	}
+
+	if err := k2.ForwardRand(0); err == nil {
+		t.Error("rewinding ForwardRand should fail")
+	}
+}
+
+// tickRunner records its firing time and reschedules itself until the log
+// holds enough entries — a stand-in for the protocol's self-rescheduling
+// runner objects.
+type tickRunner struct {
+	k      *Kernel
+	label  int
+	period Time
+	log    *[]tick
+}
+
+type tick struct {
+	at    Time
+	label int
+}
+
+func (r *tickRunner) Run() {
+	*r.log = append(*r.log, tick{r.k.Now(), r.label})
+	if len(*r.log) < 64 {
+		r.k.ScheduleRunner(r.period, r)
+	}
+}
+
+// TestKernelSnapshotRoundTrip runs a kernel halfway, snapshots its pending
+// events via the checkpoint surface, rebuilds a fresh kernel from the
+// snapshot, and verifies (a) the restored listing re-encodes identically
+// and (b) both kernels fire the identical event sequence to the horizon.
+func TestKernelSnapshotRoundTrip(t *testing.T) {
+	const horizon = 10 * time.Second
+	build := func() (*Kernel, *[]tick, []*tickRunner) {
+		k := NewKernel(3)
+		log := &[]tick{}
+		var runners []*tickRunner
+		for i := 0; i < 5; i++ {
+			r := &tickRunner{k: k, label: i, period: Time(i+1) * 100 * time.Millisecond, log: log}
+			runners = append(runners, r)
+			k.ScheduleRunner(Time(i)*50*time.Millisecond, r)
+		}
+		return k, log, runners
+	}
+
+	// The uninterrupted reference.
+	kRef, logRef, _ := build()
+	kRef.Run(horizon)
+
+	// The checkpointed run: halt mid-horizon, snapshot, restore, resume.
+	k1, log1, _ := build()
+	k1.Rand().Int63() // consume some stream so the position is nontrivial
+	k1.Run(4 * time.Second)
+	events := k1.PendingEvents()
+	now, seq, processed := k1.Now(), k1.seq, k1.Processed()
+	draws, highWater := k1.RandDraws(), k1.QueueHighWater()
+
+	k2 := NewKernel(3)
+	log2 := &[]tick{}
+	if err := k2.RestoreClock(now, seq, processed); err != nil {
+		t.Fatal(err)
+	}
+	for _, pe := range events {
+		if pe.Closure {
+			t.Fatalf("unexpected closure event at %v", pe.At)
+		}
+		var r Runner
+		if !pe.Cancelled {
+			old := pe.Runner.(*tickRunner)
+			// Re-bind onto the restored kernel, as subsystem decoders do.
+			r = &tickRunner{k: k2, label: old.label, period: old.period, log: log2}
+		}
+		if _, err := k2.RestoreEvent(pe.At, pe.Seq, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k2.RestoreQueueHighWater(highWater)
+	if err := k2.ForwardRand(draws); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-encode check: the restored kernel must describe the same pending
+	// set in the same canonical order.
+	restored := k2.PendingEvents()
+	if len(restored) != len(events) {
+		t.Fatalf("restored %d events, want %d", len(restored), len(events))
+	}
+	for i := range events {
+		if restored[i].At != events[i].At || restored[i].Seq != events[i].Seq ||
+			restored[i].Cancelled != events[i].Cancelled {
+			t.Fatalf("event %d re-encodes differently: %+v vs %+v", i, restored[i], events[i])
+		}
+	}
+
+	// Resume and compare against the uninterrupted reference: the combined
+	// log (pre-halt + post-restore) must equal the reference log exactly.
+	k2.Run(horizon)
+	combined := append(append([]tick{}, *log1...), *log2...)
+	if !reflect.DeepEqual(combined, *logRef) {
+		t.Fatalf("resumed firing sequence diverged:\n got %v\nwant %v", combined, *logRef)
+	}
+	if k2.Processed() != kRef.Processed() {
+		t.Errorf("processed %d events, want %d", k2.Processed(), kRef.Processed())
+	}
+	if k2.Now() != kRef.Now() {
+		t.Errorf("clock %v, want %v", k2.Now(), kRef.Now())
+	}
+}
+
+// TestKernelSnapshotCancelledPlaceholders verifies Stop'd records survive a
+// round trip as placeholders: queue depth and the cancelled count evolve as
+// in the original, so lazy compaction behaves identically after restore.
+func TestKernelSnapshotCancelledPlaceholders(t *testing.T) {
+	k1 := NewKernel(1)
+	log := &[]tick{}
+	live := &tickRunner{k: k1, label: 0, period: time.Second, log: log}
+	k1.ScheduleRunner(time.Second, live)
+	var stopped []Timer
+	for i := 0; i < 5; i++ {
+		r := &tickRunner{k: k1, label: 100 + i, period: time.Second, log: log}
+		stopped = append(stopped, k1.ScheduleRunner(2*time.Second, r))
+	}
+	for _, tm := range stopped {
+		tm.Stop()
+	}
+
+	events := k1.PendingEvents()
+	cancelled := 0
+	for _, pe := range events {
+		if pe.Cancelled {
+			cancelled++
+		}
+	}
+	if cancelled != 5 {
+		t.Fatalf("expected 5 cancelled placeholders, got %d", cancelled)
+	}
+
+	k2 := NewKernel(1)
+	if err := k2.RestoreClock(k1.Now(), k1.seq, k1.Processed()); err != nil {
+		t.Fatal(err)
+	}
+	log2 := &[]tick{}
+	for _, pe := range events {
+		var r Runner
+		if !pe.Cancelled {
+			old := pe.Runner.(*tickRunner)
+			r = &tickRunner{k: k2, label: old.label, period: old.period, log: log2}
+		}
+		if _, err := k2.RestoreEvent(pe.At, pe.Seq, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k2.RestoreQueueHighWater(k1.QueueHighWater())
+
+	if k2.Pending() != k1.Pending() {
+		t.Errorf("pending %d, want %d", k2.Pending(), k1.Pending())
+	}
+	if k2.cancelled != k1.cancelled {
+		t.Errorf("cancelled %d, want %d", k2.cancelled, k1.cancelled)
+	}
+	// The placeholders drain exactly like the originals.
+	at, ok := k2.PeekTime()
+	if !ok || at != time.Second {
+		t.Errorf("PeekTime = %v, %v; want 1s, true", at, ok)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	k := NewKernel(1)
+	k.ScheduleRunner(time.Second, &tickRunner{k: k, log: &[]tick{}})
+	if err := k.RestoreClock(0, 0, 0); err == nil {
+		t.Error("RestoreClock on a non-empty kernel should fail")
+	}
+
+	k2 := NewKernel(1)
+	if err := k2.RestoreClock(5*time.Second, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k2.RestoreEvent(6*time.Second, 10, &tickRunner{k: k2, log: &[]tick{}}); err == nil {
+		t.Error("seq >= next-seq should be rejected")
+	}
+	if _, err := k2.RestoreEvent(4*time.Second, 3, &tickRunner{k: k2, log: &[]tick{}}); err == nil {
+		t.Error("event before now should be rejected")
+	}
+}

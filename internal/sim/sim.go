@@ -106,6 +106,7 @@ type Kernel struct {
 	cancelled int // cancelled records still sitting in the heap
 	seq       uint64
 	rng       *rand.Rand
+	src       *countingSource // the rng's underlying source, draw-counted for checkpoint/restore
 	running   bool
 	stopped   bool
 
@@ -115,9 +116,14 @@ type Kernel struct {
 	maxQueue  int
 }
 
-// NewKernel returns a kernel whose randomness is derived from seed.
+// NewKernel returns a kernel whose randomness is derived from seed. The
+// source is wrapped in a draw counter (see checkpoint.go) so a restore can
+// fast-forward a fresh source to the same stream position; the wrapper
+// delegates every call, so the stream is bit-identical to an unwrapped
+// rand.NewSource(seed).
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Kernel{rng: rand.New(src), src: src}
 }
 
 // Now returns the current virtual time.

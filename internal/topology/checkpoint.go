@@ -1,0 +1,113 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Checkpoint state surfaces (DESIGN.md §12). A static field is rebuilt from
+// (seed, config) and needs no snapshot; these APIs exist for mobile runs,
+// where positions have drifted from the generated placement and — more
+// subtly — adjacency-list ORDER is history-dependent: MoveNode appends
+// gained links to the survivors' lists, so a list's order encodes the move
+// history. The MAC iterates those lists when building audible sets, so the
+// snapshot must carry the lists verbatim rather than recompute them from
+// positions. The uniform grid, by contrast, is a pure function of positions
+// and is rebuilt.
+
+// FieldState is a field's mutable state: positions plus adjacency lists in
+// their history-dependent order.
+type FieldState struct {
+	Positions []geom.Point
+	Neighbors [][]NodeID
+}
+
+// State captures the field's positions and adjacency lists.
+func (f *Field) State() FieldState {
+	s := FieldState{
+		Positions: append([]geom.Point(nil), f.positions...),
+		Neighbors: make([][]NodeID, len(f.neighbors)),
+	}
+	for i, ns := range f.neighbors {
+		s.Neighbors[i] = append([]NodeID(nil), ns...)
+	}
+	return s
+}
+
+// RestoreState overwrites the field's positions and adjacency lists with a
+// captured state and rebuilds the position-derived grid. The field must have
+// the same node count (it was rebuilt from the same config).
+func (f *Field) RestoreState(s FieldState) error {
+	if len(s.Positions) != len(f.positions) || len(s.Neighbors) != len(f.positions) {
+		return fmt.Errorf("topology: restore %d positions / %d neighbor lists into %d-node field",
+			len(s.Positions), len(s.Neighbors), len(f.positions))
+	}
+	for i, p := range s.Positions {
+		if !f.area.Contains(p) {
+			return fmt.Errorf("topology: restored node %d at %v outside area %+v", i, p, f.area)
+		}
+	}
+	f.positions = append(f.positions[:0], s.Positions...)
+	for i := range f.neighbors {
+		f.neighbors[i] = append(f.neighbors[i][:0], s.Neighbors[i]...)
+	}
+	// Rebuild the grid from the restored positions.
+	for c := range f.cells {
+		f.cells[c] = f.cells[c][:0]
+	}
+	for i, p := range f.positions {
+		c := f.cellAt(p)
+		f.cellIdx[i] = c
+		f.cells[c] = insertID(f.cells[c], NodeID(i))
+	}
+	return nil
+}
+
+// MoverState is a mover's mutable state. Config and pins are rebuilt.
+type MoverState struct {
+	Distance    []float64
+	Target      []geom.Point
+	LegSpeed    []float64
+	HasTarget   []bool
+	PauseUntil  []time.Duration
+	Epochs      int
+	LinkChanges int
+}
+
+// State captures the mover's per-node trajectory state and counters.
+func (m *Mover) State() MoverState {
+	return MoverState{
+		Distance:    append([]float64(nil), m.distance...),
+		Target:      append([]geom.Point(nil), m.target...),
+		LegSpeed:    append([]float64(nil), m.legSpeed...),
+		HasTarget:   append([]bool(nil), m.hasTarget...),
+		PauseUntil:  append([]time.Duration(nil), m.pauseUntil...),
+		Epochs:      m.Epochs(),
+		LinkChanges: m.LinkChanges(),
+	}
+}
+
+// RestoreState overwrites the mover's trajectory state with a captured one.
+func (m *Mover) RestoreState(s MoverState) error {
+	n := len(m.distance)
+	if len(s.Distance) != n {
+		return fmt.Errorf("topology: restore %d distances into %d-node mover", len(s.Distance), n)
+	}
+	if m.cfg.Model == MobilityWaypoint &&
+		(len(s.Target) != n || len(s.LegSpeed) != n || len(s.HasTarget) != n || len(s.PauseUntil) != n) {
+		return fmt.Errorf("topology: restored waypoint state sized %d/%d/%d/%d, want %d",
+			len(s.Target), len(s.LegSpeed), len(s.HasTarget), len(s.PauseUntil), n)
+	}
+	m.distance = append(m.distance[:0], s.Distance...)
+	if m.cfg.Model == MobilityWaypoint {
+		m.target = append(m.target[:0], s.Target...)
+		m.legSpeed = append(m.legSpeed[:0], s.LegSpeed...)
+		m.hasTarget = append(m.hasTarget[:0], s.HasTarget...)
+		m.pauseUntil = append(m.pauseUntil[:0], s.PauseUntil...)
+	}
+	m.epochs = s.Epochs
+	m.linkChanges = s.LinkChanges
+	return nil
+}

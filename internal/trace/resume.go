@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// Resumable is the extra surface a tracer must offer for checkpoint/restore
+// (DESIGN.md §12): the checkpoint records the trace file's byte offset, and
+// restore truncates back to it so records emitted after the checkpoint — by
+// the run segment the crash discarded — do not appear twice.
+type Resumable interface {
+	// Offset flushes buffered records and returns the current file offset.
+	Offset() (int64, error)
+	// TruncateTo discards everything at or beyond off and repositions the
+	// writer there.
+	TruncateTo(off int64) error
+}
+
+// ResumeNDJSONFile opens an existing trace for appending after a restore,
+// without truncating it — TruncateTo then cuts it back to the checkpointed
+// offset. The file must exist (a missing trace means the resume does not
+// match the original invocation).
+func ResumeNDJSONFile(path string) (*FileNDJSON, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	return &FileNDJSON{NDJSON: NewNDJSON(bw), f: f, bw: bw}, nil
+}
+
+// Offset implements Resumable.
+func (f *FileNDJSON) Offset() (int64, error) {
+	if err := f.bw.Flush(); err != nil {
+		return 0, err
+	}
+	return f.f.Seek(0, io.SeekCurrent)
+}
+
+// TruncateTo implements Resumable.
+func (f *FileNDJSON) TruncateTo(off int64) error {
+	if err := f.bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.f.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := f.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	f.bw.Reset(f.f)
+	return nil
+}
